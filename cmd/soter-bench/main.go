@@ -1,0 +1,181 @@
+// Command soter-bench regenerates every table and figure of the paper's
+// evaluation (Section V) as text tables — the same experiments the
+// bench_test.go harness runs, addressable individually.
+//
+// Usage:
+//
+//	soter-bench [-seed N] [-quick] [experiment ...]
+//
+// With no arguments every experiment runs. Experiments: fig5r fig5l fig6
+// fig10 fig12a fig12b fig12c sec5c sec5d abl-delta abl-return.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type experiment struct {
+	name string
+	run  func(seed int64, quick bool) (string, error)
+}
+
+func catalogue() []experiment {
+	return []experiment{
+		{"fig5r", func(seed int64, quick bool) (string, error) {
+			laps := 10
+			if quick {
+				laps = 5
+			}
+			return experiments.Fig5Right(experiments.Fig5Config{Seed: seed, Laps: laps}).Format(), nil
+		}},
+		{"fig5l", func(seed int64, quick bool) (string, error) {
+			laps := 12
+			if quick {
+				laps = 6
+			}
+			return experiments.Fig5Left(experiments.Fig5Config{Seed: seed + 4, Laps: laps}).Format(), nil
+		}},
+		{"fig6", func(seed int64, _ bool) (string, error) {
+			res, err := experiments.Fig6(experiments.Fig6Config{Seed: seed + 1})
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"fig10", func(seed int64, quick bool) (string, error) {
+			samples := 4000
+			if quick {
+				samples = 1000
+			}
+			res, err := experiments.Fig10(experiments.Fig10Config{Seed: seed + 2, Samples: samples})
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"fig12a", func(seed int64, quick bool) (string, error) {
+			tours := 2
+			if quick {
+				tours = 1
+			}
+			res, err := experiments.Fig12a(experiments.Fig12aConfig{Seed: seed + 3, Tours: tours})
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"fig12b", func(seed int64, quick bool) (string, error) {
+			d := 2 * time.Minute
+			if quick {
+				d = 45 * time.Second
+			}
+			res, err := experiments.Fig12b(experiments.Fig12bConfig{Seed: seed + 6, Duration: d, Faults: true})
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"fig12c", func(seed int64, _ bool) (string, error) {
+			res, err := experiments.Fig12c(experiments.Fig12cConfig{Seed: seed + 10})
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"sec5c", func(seed int64, quick bool) (string, error) {
+			cfg := experiments.Sec5cConfig{Seed: seed + 2, Queries: 40, ClosedLoop: time.Minute}
+			if quick {
+				cfg.Queries = 15
+				cfg.ClosedLoop = 0
+			}
+			res, err := experiments.Sec5c(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"sec5d", func(seed int64, quick bool) (string, error) {
+			cfg := experiments.Sec5dConfig{Seed: seed + 12, SimHours: 0.5}
+			if quick {
+				cfg.SimHours = 0.1
+				cfg.SegmentMinutes = 3
+			}
+			res, err := experiments.Sec5d(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"abl-delta", func(seed int64, quick bool) (string, error) {
+			cfg := experiments.AblationConfig{Seed: seed + 5}
+			if quick {
+				cfg.Duration = 40 * time.Second
+			}
+			res, err := experiments.AblationDelta(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"abl-return", func(seed int64, quick bool) (string, error) {
+			cfg := experiments.AblationConfig{Seed: seed + 5}
+			if quick {
+				cfg.Duration = 40 * time.Second
+			}
+			res, err := experiments.AblationReturn(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("soter-bench: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	quick := flag.Bool("quick", false, "run scaled-down configurations")
+	flag.Parse()
+
+	cat := catalogue()
+	byName := make(map[string]experiment, len(cat))
+	var names []string
+	for _, e := range cat {
+		byName[e.name] = e
+		names = append(names, e.name)
+	}
+	sort.Strings(names)
+
+	selected := flag.Args()
+	if len(selected) == 0 {
+		for _, e := range cat {
+			selected = append(selected, e.name)
+		}
+	}
+	for _, name := range selected {
+		e, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (have: %v)", name, names)
+		}
+		start := time.Now()
+		out, err := e.run(*seed, *quick)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("%s\n[%s took %v]\n\n", out, name, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

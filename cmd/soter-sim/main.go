@@ -1,0 +1,199 @@
+// Command soter-sim runs the RTA-protected drone surveillance stack in the
+// closed-loop simulator and reports the paper's metrics (disengagements,
+// AC-control fraction, safety outcome). It can optionally dump the flown
+// trajectory as CSV for plotting the Figure 12 style figures.
+//
+// Usage:
+//
+//	soter-sim [flags]
+//
+// Examples:
+//
+//	soter-sim -duration 2m -faults
+//	soter-sim -protection ac-only -duration 1m
+//	soter-sim -planner-bug skip-edge-check -random-targets
+//	soter-sim -csv trajectory.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/plan"
+	"repro/internal/plant"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("soter-sim: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		duration   = flag.Duration("duration", 2*time.Minute, "mission duration")
+		protection = flag.String("protection", "rta", "motion layer: rta | ac-only | sc-only")
+		acKind     = flag.String("ac", "aggressive", "advanced controller: aggressive | learned")
+		faults     = flag.Bool("faults", false, "inject periodic full-thrust faults into the AC")
+		plannerBug = flag.String("planner-bug", "none", "RRT* defect: none | skip-edge-check | unchecked-shortcut | stale-obstacles")
+		random     = flag.Bool("random-targets", false, "draw random surveillance targets (Section V-D style)")
+		battery    = flag.Float64("battery", 1.0, "initial battery charge fraction")
+		drainX     = flag.Float64("drain", 1.0, "battery drain multiplier")
+		jitter     = flag.Float64("jitter", 0, "per-firing probability of a scheduling outage (SC/DM nodes)")
+		delta      = flag.Duration("delta", 100*time.Millisecond, "motion-primitive DM period Δ")
+		hysteresis = flag.Float64("hysteresis", 2.0, "φsafer horizon multiplier")
+		csvPath    = flag.String("csv", "", "write the flown trajectory to this CSV file")
+	)
+	flag.Parse()
+
+	params := plant.DefaultParams()
+	params.IdleDrainPerSec *= *drainX
+	params.AccelDrainPerSec *= *drainX
+
+	cfg := mission.DefaultStackConfig(*seed)
+	cfg.PlantParams = params
+	cfg.MotionDelta = *delta
+	cfg.Hysteresis = *hysteresis
+	switch *protection {
+	case "rta":
+		cfg.Protection = mission.ProtectRTA
+	case "ac-only":
+		cfg.Protection = mission.ProtectACOnly
+	case "sc-only":
+		cfg.Protection = mission.ProtectSCOnly
+	default:
+		return fmt.Errorf("unknown -protection %q", *protection)
+	}
+	switch *acKind {
+	case "aggressive":
+		cfg.AC = mission.ACAggressive
+	case "learned":
+		cfg.AC = mission.ACLearned
+	default:
+		return fmt.Errorf("unknown -ac %q", *acKind)
+	}
+	switch *plannerBug {
+	case "none":
+	case "skip-edge-check":
+		cfg.PlannerBug = plan.BugSkipEdgeCheck
+	case "unchecked-shortcut":
+		cfg.PlannerBug = plan.BugUncheckedShortcut
+	case "stale-obstacles":
+		cfg.PlannerBug = plan.BugStaleObstacles
+	default:
+		return fmt.Errorf("unknown -planner-bug %q", *plannerBug)
+	}
+	if *random {
+		cfg.App = mission.AppConfig{Random: true}
+	} else {
+		cfg.App = mission.AppConfig{Points: []geom.Vec3{
+			geom.V(3, 3, 2), geom.V(46, 3, 2.5), geom.V(46, 46, 2), geom.V(3, 46, 2.5),
+		}}
+	}
+	if *faults {
+		for i := 0; ; i++ {
+			start := time.Duration(10+12*i) * time.Second
+			if start >= *duration {
+				break
+			}
+			cfg.ACFaults = append(cfg.ACFaults, controller.Fault{
+				Kind:  controller.FaultFullThrust,
+				Start: start,
+				End:   start + 1200*time.Millisecond,
+				Param: geom.V(1, 0.4, 0),
+			})
+		}
+	}
+
+	st, err := mission.Build(cfg)
+	if err != nil {
+		return fmt.Errorf("build stack: %w", err)
+	}
+
+	fmt.Printf("SOTER simulator — protection=%s ac=%s Δ=%v planner-bug=%s jitter=%.4f\n",
+		*protection, *acKind, *delta, *plannerBug, *jitter)
+
+	res, err := sim.Run(sim.RunConfig{
+		Stack:            st,
+		Initial:          plant.State{Pos: geom.V(3, 3, 2), Battery: *battery},
+		Duration:         *duration,
+		Seed:             *seed,
+		JitterProb:       *jitter,
+		JitterSCOnly:     true,
+		CheckInvariants:  true,
+		RecordTrajectory: *csvPath != "",
+	})
+	if err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
+
+	printMetrics(res)
+	if *csvPath != "" {
+		if err := writeCSV(*csvPath, res); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+		fmt.Printf("trajectory: %d samples written to %s\n", len(res.Trajectory), *csvPath)
+	}
+	if res.Metrics.Crashed {
+		return fmt.Errorf("CRASH at t=%v pos=%v", res.Metrics.CrashTime, res.Metrics.CrashPos)
+	}
+	return nil
+}
+
+func printMetrics(res *sim.Result) {
+	m := res.Metrics
+	fmt.Printf("\nmission:  %v flown, %.1f m, %d targets visited\n", m.Duration, m.DistanceFlown, m.TargetsVisited)
+	fmt.Printf("safety:   crashed=%v collisions=%d min-clearance=%.2f m φInv-violations=%d\n",
+		m.Crashed, m.Collisions, m.MinClearance, m.InvariantViolations)
+	if m.Landed {
+		fmt.Printf("landing:  touched down at t=%v with %.1f%% charge\n", m.LandTime, 100*m.BatteryAtEnd)
+	}
+	if m.DroppedFirings > 0 {
+		fmt.Printf("schedule: %d firings dropped by jitter\n", m.DroppedFirings)
+	}
+	names := make([]string, 0, len(m.Modules))
+	for name := range m.Modules {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := m.Modules[name]
+		fmt.Printf("module %-22s disengagements=%-3d re-engagements=%-3d AC-control=%.1f%%\n",
+			name, s.Disengagements, s.Reengagements, 100*s.ACFraction())
+	}
+}
+
+func writeCSV(path string, res *sim.Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.WriteString("t_s,x,y,z,vx,vy,vz,mode\n"); err != nil {
+		return err
+	}
+	for _, p := range res.Trajectory {
+		row := strconv.FormatFloat(p.T.Seconds(), 'f', 3, 64) + "," +
+			coord(p.Pos.X) + "," + coord(p.Pos.Y) + "," + coord(p.Pos.Z) + "," +
+			coord(p.Vel.X) + "," + coord(p.Vel.Y) + "," + coord(p.Vel.Z) + "," +
+			p.Mode.String() + "\n"
+		if _, err := f.WriteString(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func coord(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

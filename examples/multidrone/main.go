@@ -1,0 +1,270 @@
+// Command multidrone composes two independently RTA-protected drones into
+// one system — the multi-robot direction the paper sketches in Section VII —
+// and links them with coordinated switching: when drone A's decision module
+// disengages (loss of trust in A's advanced controller), drone B is demoted
+// to its safe controller in the same instant, modelling shared distrust
+// (e.g. both drones consume the same perception pipeline).
+//
+// Theorem 4.1 does the heavy lifting: each drone's motion module is
+// well-formed on its own topic namespace, their outputs are disjoint, so the
+// composition satisfies both safety invariants — which this run checks with
+// the φInv monitor enabled while injecting faults into drone A.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	soter "repro"
+	"repro/internal/controller"
+	"repro/internal/geom"
+	"repro/internal/plant"
+	"repro/internal/reach"
+)
+
+// droneRig bundles one drone's nodes, module and plant.
+type droneRig struct {
+	name     string
+	module   *soter.Module
+	tourNode *soter.Node
+	plant    *plant.Drone
+	state    plant.State
+	stateT   soter.TopicName
+	wpT      soter.TopicName
+	cmdT     soter.TopicName
+	crashed  bool
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ws := geom.CityWorkspace()
+	params := plant.DefaultParams()
+	limits := controller.Limits{MaxAccel: params.MaxAccel, MaxVel: params.MaxVel}
+	bounds := reach.Bounds{MaxAccel: params.MaxAccel, MaxVel: params.MaxVel, BrakeDecel: 0.8 * params.MaxAccel}
+
+	// Both drones share the obstacle map; the analysis floor is lowered a
+	// hair like the surveillance stack's.
+	b := ws.Bounds()
+	b.Min.Z -= 0.25
+	aws, err := geom.NewWorkspace(b, ws.Obstacles())
+	if err != nil {
+		return err
+	}
+	analyzer, err := reach.NewAnalyzer(aws, bounds, 0.45, 100*time.Millisecond, 2.0)
+	if err != nil {
+		return err
+	}
+
+	// Drone A flies the outer tour with a faulty AC; drone B patrols the
+	// middle with a clean one.
+	rigA, err := buildDrone("drone-a", analyzer, limits, params,
+		[]geom.Vec3{geom.V(3, 3, 2), geom.V(46, 3, 2), geom.V(46, 46, 2), geom.V(3, 46, 2)},
+		[]controller.Fault{
+			{Kind: controller.FaultFullThrust, Start: 8 * time.Second, End: 9500 * time.Millisecond, Param: geom.V(1, 0.4, 0)},
+			{Kind: controller.FaultFullThrust, Start: 25 * time.Second, End: 26500 * time.Millisecond, Param: geom.V(0.3, 1, 0)},
+		})
+	if err != nil {
+		return err
+	}
+	rigB, err := buildDrone("drone-b", analyzer, limits, params,
+		[]geom.Vec3{geom.V(20, 16, 3), geom.V(34, 17, 3), geom.V(36, 34, 3), geom.V(20, 33, 3)},
+		nil)
+	if err != nil {
+		return err
+	}
+
+	sys, err := soter.NewSystem(
+		[]*soter.Module{rigA.module, rigB.module},
+		[]*soter.Node{rigA.tourNode, rigB.tourNode},
+	)
+	if err != nil {
+		return err
+	}
+	// The Section VII link: distrust of A demotes B.
+	if err := sys.AddCoordination("drone-a", "drone-b"); err != nil {
+		return err
+	}
+
+	rigs := []*droneRig{rigA, rigB}
+	env := soter.EnvironmentFunc(func(prev, now time.Duration, topics *soter.Store) error {
+		for _, rig := range rigs {
+			if err := rig.advance(ws, prev, now, topics); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	var coordinated []soter.Switch
+	exec, err := soter.NewExecutor(sys,
+		[]soter.Topic{
+			{Name: rigA.stateT, Default: rigA.state},
+			{Name: rigB.stateT, Default: rigB.state},
+		},
+		soter.WithInvariantChecking(),
+		soter.WithEnvironment(env),
+		soter.WithSwitchHook(func(sw soter.Switch) {
+			if sw.Coordinated {
+				coordinated = append(coordinated, sw)
+			}
+		}),
+	)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("two RTA-protected drones, coordinated switching drone-a → drone-b")
+	if err := exec.RunUntil(60 * time.Second); err != nil {
+		return fmt.Errorf("φInv violated: %w", err)
+	}
+
+	for _, rig := range rigs {
+		mode, _ := exec.Mode(rig.name)
+		fmt.Printf("%s: pos=%v crashed=%v final mode=%v\n", rig.name, rig.state.Pos, rig.crashed, mode)
+		if rig.crashed {
+			return fmt.Errorf("%s crashed — composed invariant broken", rig.name)
+		}
+	}
+	fmt.Printf("\ncoordinated demotions of drone-b: %d\n", len(coordinated))
+	for i, sw := range coordinated {
+		if i >= 5 {
+			fmt.Printf("  ... and %d more\n", len(coordinated)-i)
+			break
+		}
+		fmt.Printf("  %d: t=%v %s forced %v→%v by drone-a's disengagement\n",
+			i+1, sw.Time.Round(10*time.Millisecond), sw.Module, sw.From, sw.To)
+	}
+	if len(coordinated) == 0 {
+		return fmt.Errorf("expected at least one coordinated demotion")
+	}
+	fmt.Println("\nφInv held for both modules (Theorem 4.1) throughout the faulted mission.")
+	return nil
+}
+
+// buildDrone assembles one drone's tour node, AC/SC primitive nodes and RTA
+// module on its own topic namespace.
+func buildDrone(name string, analyzer *reach.Analyzer, limits controller.Limits, params plant.Params, tour []geom.Vec3, faults []controller.Fault) (*droneRig, error) {
+	rig := &droneRig{
+		name:   name,
+		stateT: soter.TopicName(name + "/state"),
+		wpT:    soter.TopicName(name + "/wp"),
+		cmdT:   soter.TopicName(name + "/cmd"),
+	}
+	dr, err := plant.NewDrone(params, int64(len(name)))
+	if err != nil {
+		return nil, err
+	}
+	rig.plant = dr
+	rig.state = plant.State{Pos: tour[len(tour)-1], Battery: 1}
+
+	stateOf := func(v soter.Valuation) (plant.State, bool) {
+		raw, ok := v[rig.stateT]
+		if !ok || raw == nil {
+			return plant.State{}, false
+		}
+		s, ok := raw.(plant.State)
+		return s, ok
+	}
+
+	// The tour node publishes the current waypoint, advancing on arrival.
+	tourNode, err := soter.NewNode(name+".tour", 100*time.Millisecond,
+		[]soter.TopicName{rig.stateT}, []soter.TopicName{rig.wpT},
+		func(st soter.State, in soter.Valuation) (soter.State, soter.Valuation, error) {
+			idx, _ := st.(int)
+			s, ok := stateOf(in)
+			if ok && s.Pos.Dist(tour[idx%len(tour)]) < 1.0 {
+				idx++
+			}
+			return idx, soter.Valuation{rig.wpT: tour[idx%len(tour)]}, nil
+		},
+		soter.WithInit(func() soter.State { return 0 }))
+	if err != nil {
+		return nil, err
+	}
+	rig.tourNode = tourNode
+
+	mkPrimitive := func(suffix string, ctrl controller.Controller) (*soter.Node, error) {
+		return soter.NewNode(name+suffix, 20*time.Millisecond,
+			[]soter.TopicName{rig.stateT, rig.wpT}, []soter.TopicName{rig.cmdT},
+			func(st soter.State, in soter.Valuation) (soter.State, soter.Valuation, error) {
+				t, _ := st.(time.Duration)
+				next := t + 20*time.Millisecond
+				s, ok := stateOf(in)
+				if !ok {
+					return next, nil, nil
+				}
+				target := s.Pos
+				if raw := in[rig.wpT]; raw != nil {
+					if wp, ok := raw.(geom.Vec3); ok {
+						target = wp
+					}
+				}
+				return next, soter.Valuation{rig.cmdT: ctrl.Control(t, s.Pos, s.Vel, target)}, nil
+			},
+			soter.WithInit(func() soter.State { return time.Duration(0) }))
+	}
+	var ac controller.Controller = controller.NewAggressive(limits)
+	if len(faults) > 0 {
+		ac = controller.WithFaults(ac, limits, faults)
+	}
+	acNode, err := mkPrimitive(".ac", ac)
+	if err != nil {
+		return nil, err
+	}
+	scNode, err := mkPrimitive(".sc", controller.NewSafe(analyzer, limits, 20*time.Millisecond))
+	if err != nil {
+		return nil, err
+	}
+
+	rig.module, err = soter.NewRTAModule(soter.ModuleDecl{
+		Name:  name,
+		AC:    acNode,
+		SC:    scNode,
+		Delta: analyzer.Delta(),
+		TTF2Delta: func(v soter.Valuation) bool {
+			s, ok := stateOf(v)
+			return !ok || analyzer.TTF2Delta(s.Pos, s.Vel)
+		},
+		InSafer: func(v soter.Valuation) bool {
+			s, ok := stateOf(v)
+			return ok && analyzer.InSafer(s.Pos, s.Vel)
+		},
+		Safe: func(v soter.Valuation) bool {
+			s, ok := stateOf(v)
+			return !ok || analyzer.Safe(s.Pos, s.Vel)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rig, nil
+}
+
+// advance integrates this drone's plant over [prev, now] and publishes its
+// state.
+func (r *droneRig) advance(ws *geom.Workspace, prev, now time.Duration, topics *soter.Store) error {
+	for t := prev; t < now; {
+		dt := 5 * time.Millisecond
+		if t+dt > now {
+			dt = now - t
+		}
+		cmd := geom.Vec3{}
+		if raw, err := topics.Get(r.cmdT); err == nil && raw != nil {
+			if v, ok := raw.(geom.Vec3); ok {
+				cmd = v
+			}
+		}
+		r.state = r.plant.Step(r.state, cmd, dt)
+		t += dt
+		if plant.Crashed(r.state, ws) {
+			r.crashed = true
+		}
+	}
+	return topics.Set(r.stateT, r.state)
+}

@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/plant"
+	"repro/internal/sim"
+)
+
+// AblationConfig parameterises the design-choice ablations of Remark 3.3.
+type AblationConfig struct {
+	Seed     int64
+	Duration time.Duration
+}
+
+// DeltaRow is one (Δ, hysteresis) configuration.
+type DeltaRow struct {
+	Delta          time.Duration
+	Hysteresis     float64
+	Crashed        bool
+	Disengagements int
+	ACFraction     float64
+	Targets        int
+}
+
+// AblationDeltaResult sweeps the DM period Δ and the φsafer hysteresis,
+// quantifying Remark 3.3: a large Δ (or large φsafer margin) behaves
+// conservatively — more of the mission runs under SC; a small Δ with a tight
+// φsafer maximises AC usage but increases switching.
+type AblationDeltaResult struct {
+	Rows []DeltaRow
+}
+
+// Format prints the Δ/hysteresis sweep.
+func (r AblationDeltaResult) Format() string {
+	var t table
+	t.title("Ablation (Remark 3.3): DM period Δ and φsafer hysteresis")
+	t.row("Δ", "hysteresis", "crashed", "switches", "AC fraction", "targets")
+	for _, row := range r.Rows {
+		t.row(row.Delta.String(), fmt.Sprintf("%.1f", row.Hysteresis),
+			fmt.Sprint(row.Crashed), fmt.Sprint(row.Disengagements),
+			fmtPct(row.ACFraction), fmt.Sprint(row.Targets))
+	}
+	t.line("paper: large Δ ⇒ conservative (SC in control more); small Δ with small φsafer")
+	t.line("margin ⇒ more AC usage but more frequent AC/SC switching.")
+	return t.String()
+}
+
+// ablationMission builds the faulted surveillance mission used by both
+// ablations.
+func ablationMission(seed int64, delta time.Duration, hysteresis float64, oneWay bool) (*mission.Stack, error) {
+	mcfg := mission.DefaultStackConfig(seed)
+	mcfg.MotionDelta = delta
+	mcfg.Hysteresis = hysteresis
+	mcfg.OneWaySwitching = oneWay
+	mcfg.WithPlannerModule = true
+	mcfg.App = mission.AppConfig{Points: []geom.Vec3{
+		geom.V(3, 3, 2), geom.V(46, 3, 2.5), geom.V(46, 46, 2), geom.V(3, 46, 2.5),
+	}}
+	for i := 0; i < 6; i++ {
+		start := time.Duration(8+11*i) * time.Second
+		mcfg.ACFaults = append(mcfg.ACFaults, controller.Fault{
+			Kind:  controller.FaultFullThrust,
+			Start: start,
+			End:   start + 1200*time.Millisecond,
+			Param: geom.V(1, 0.4, 0),
+		})
+	}
+	return mission.Build(mcfg)
+}
+
+// AblationDelta runs the sweep.
+func AblationDelta(cfg AblationConfig) (AblationDeltaResult, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 80 * time.Second
+	}
+	var res AblationDeltaResult
+	for _, delta := range []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond} {
+		for _, hyst := range []float64{1.0, 2.0, 4.0} {
+			st, err := ablationMission(cfg.Seed, delta, hyst, false)
+			if err != nil {
+				return AblationDeltaResult{}, fmt.Errorf("ablation Δ=%v: %w", delta, err)
+			}
+			out, err := sim.Run(sim.RunConfig{
+				Stack:    st,
+				Initial:  plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+				Duration: cfg.Duration,
+				Seed:     cfg.Seed,
+			})
+			if err != nil {
+				return AblationDeltaResult{}, fmt.Errorf("ablation Δ=%v: %w", delta, err)
+			}
+			m := out.Metrics
+			row := DeltaRow{Delta: delta, Hysteresis: hyst, Crashed: m.Crashed, Targets: m.TargetsVisited}
+			if s, ok := m.Modules["safe-motion-primitive"]; ok {
+				row.Disengagements = s.Disengagements
+				row.ACFraction = s.ACFraction()
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// ReturnRow is one switching-policy configuration.
+type ReturnRow struct {
+	Policy         string
+	Crashed        bool
+	Targets        int
+	Distance       float64
+	ACFraction     float64
+	Disengagements int
+}
+
+// AblationReturnResult compares the paper's two-way switching (SC returns
+// control to AC once in φsafer) against classic one-way Simplex (SC keeps
+// control forever after the first disengagement) — the paper's headline
+// novelty: "existing techniques do not provide a principled and safe way for
+// DM to switch back from SC to AC".
+type AblationReturnResult struct {
+	Rows []ReturnRow
+}
+
+// Format prints the switching-policy comparison.
+func (r AblationReturnResult) Format() string {
+	var t table
+	t.title("Ablation: two-way switching (SOTER) vs one-way Simplex")
+	t.row("policy", "crashed", "targets", "distance", "AC fraction", "switches")
+	for _, row := range r.Rows {
+		t.row(row.Policy, fmt.Sprint(row.Crashed), fmt.Sprint(row.Targets),
+			fmt.Sprintf("%.0f m", row.Distance), fmtPct(row.ACFraction), fmt.Sprint(row.Disengagements))
+	}
+	t.line("paper: returning control to AC after recovery preserves performance; classic")
+	t.line("Simplex degrades to the conservative SC for the rest of the mission.")
+	return t.String()
+}
+
+// AblationReturn runs the comparison.
+func AblationReturn(cfg AblationConfig) (AblationReturnResult, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 80 * time.Second
+	}
+	var res AblationReturnResult
+	for _, pol := range []struct {
+		name   string
+		oneWay bool
+	}{
+		{"two-way (SOTER)", false},
+		{"one-way (Simplex)", true},
+	} {
+		st, err := ablationMission(cfg.Seed, 100*time.Millisecond, 2.0, pol.oneWay)
+		if err != nil {
+			return AblationReturnResult{}, fmt.Errorf("ablation return: %w", err)
+		}
+		out, err := sim.Run(sim.RunConfig{
+			Stack:    st,
+			Initial:  plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+			Duration: cfg.Duration,
+			Seed:     cfg.Seed,
+		})
+		if err != nil {
+			return AblationReturnResult{}, fmt.Errorf("ablation return: %w", err)
+		}
+		m := out.Metrics
+		row := ReturnRow{Policy: pol.name, Crashed: m.Crashed, Targets: m.TargetsVisited, Distance: m.DistanceFlown}
+		if s, ok := m.Modules["safe-motion-primitive"]; ok {
+			row.ACFraction = s.ACFraction()
+			row.Disengagements = s.Disengagements
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/plant"
+	"repro/internal/sim"
+)
+
+// Fig12aConfig parameterises the timing-comparison experiment.
+type Fig12aConfig struct {
+	Seed int64
+	// Tours is the number of g1..g4 tours to average over.
+	Tours int
+}
+
+// Fig12aRow is one configuration of the comparison.
+type Fig12aRow struct {
+	Mode           string
+	TourTime       time.Duration
+	Collisions     int
+	Disengagements int
+	ACFraction     float64
+}
+
+// Fig12aResult reproduces the Figure 12a timing numbers: the g1→g4 mission
+// takes 10 s with only the unsafe AC (which can collide), 14 s with the
+// RTA-protected motion primitive, and 24 s with only the safe controller —
+// RTA is the "safe middle ground without sacrificing performance too much".
+type Fig12aResult struct {
+	Rows []Fig12aRow
+}
+
+// Format prints the Figure 12a comparison table.
+func (r Fig12aResult) Format() string {
+	var t table
+	t.title("Figure 12a: g1..g4 tour time — AC only vs RTA-protected vs SC only")
+	t.row("configuration", "tour time", "collisions", "disengagements", "AC fraction")
+	for _, row := range r.Rows {
+		t.row(row.Mode, fmtDur(row.TourTime), fmt.Sprint(row.Collisions),
+			fmt.Sprint(row.Disengagements), fmtPct(row.ACFraction))
+	}
+	t.line("paper: 10 s AC-only (collides), 14 s RTA, 24 s SC-only.")
+	return t.String()
+}
+
+// fig12aStack builds the motion-layer-only stack on the corner-hazard
+// workspace: no planner or battery module, direct waypoint tour, with the
+// selected protection mode and mild fault injection that perturbs the AC at
+// the corners (the paper's unsafe third-party primitive).
+func fig12aStack(mode mission.ProtectionMode, seed int64) (*mission.Stack, []geom.Vec3, error) {
+	ws, tour := fig5Workspace()
+	cfg := mission.DefaultStackConfig(seed)
+	cfg.Workspace = ws
+	cfg.WithPlannerModule = false
+	cfg.WithBatteryModule = false
+	// The tour waypoints intentionally sit close to the hazard blocks.
+	cfg.PlanMargin = cfg.Margin + 0.05
+	cfg.Protection = mode
+	cfg.App = mission.AppConfig{Points: tour, Workspace: ws}
+	// No fault injection here: the aggressive controller's own corner
+	// overshoot (Figure 5 right) is the hazard, exactly as in the paper's
+	// timing comparison.
+	st, err := mission.Build(cfg)
+	return st, tour, err
+}
+
+// Fig12a runs the three-way comparison.
+func Fig12a(cfg Fig12aConfig) (Fig12aResult, error) {
+	if cfg.Tours <= 0 {
+		cfg.Tours = 2
+	}
+	var res Fig12aResult
+	for _, mode := range []mission.ProtectionMode{
+		mission.ProtectACOnly, mission.ProtectRTA, mission.ProtectSCOnly,
+	} {
+		st, tour, err := fig12aStack(mode, cfg.Seed)
+		if err != nil {
+			return Fig12aResult{}, fmt.Errorf("fig12a %v: %w", mode, err)
+		}
+		visits := cfg.Tours * len(tour)
+		out, err := sim.Run(sim.RunConfig{
+			Stack:                st,
+			Initial:              plant.State{Pos: tour[len(tour)-1], Battery: 1},
+			Duration:             10 * time.Minute,
+			Seed:                 cfg.Seed,
+			KeepFlyingAfterCrash: true, // score collisions, finish the tour
+			StopAfterVisits:      visits,
+		})
+		if err != nil {
+			return Fig12aResult{}, fmt.Errorf("fig12a %v: %w", mode, err)
+		}
+		m := out.Metrics
+		row := Fig12aRow{
+			Mode:       mode.String(),
+			TourTime:   m.Duration / time.Duration(cfg.Tours),
+			Collisions: m.Collisions,
+		}
+		if s, ok := m.Modules["safe-motion-primitive"]; ok {
+			row.Disengagements = s.Disengagements
+			row.ACFraction = s.ACFraction()
+		} else if mode == mission.ProtectACOnly {
+			row.ACFraction = 1
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

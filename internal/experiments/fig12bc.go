@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/plant"
+	"repro/internal/rta"
+	"repro/internal/sim"
+)
+
+// Fig12bConfig parameterises the surveillance-mission experiment.
+type Fig12bConfig struct {
+	Seed     int64
+	Duration time.Duration
+	// Faults injects the AC misbehaviour that produces the N1/N2 recovery
+	// events of the figure.
+	Faults bool
+}
+
+// Fig12bResult reproduces Figure 12b: during the surveillance mission the SC
+// takes control at a handful of points (N1, N2), pushes the drone back into
+// φsafer (green) and returns control; the AC is in control for most of the
+// mission and the drone never collides.
+type Fig12bResult struct {
+	Duration       time.Duration
+	Distance       float64
+	Targets        int
+	Crashed        bool
+	MinClearance   float64
+	Disengagements int
+	Reengagements  int
+	ACFraction     float64
+	RecoveryTimes  []time.Duration
+}
+
+// Format prints the Figure 12b mission summary.
+func (r Fig12bResult) Format() string {
+	var t table
+	t.title("Figure 12b: RTA-protected surveillance mission (city workspace)")
+	t.row("duration", "distance", "targets", "crashed", "min clearance")
+	t.row(fmtDur(r.Duration), fmt.Sprintf("%.0f m", r.Distance), fmt.Sprint(r.Targets),
+		fmt.Sprint(r.Crashed), fmt.Sprintf("%.2f m", r.MinClearance))
+	t.row("AC→SC", "SC→AC", "AC fraction", "", "")
+	t.row(fmt.Sprint(r.Disengagements), fmt.Sprint(r.Reengagements), fmtPct(r.ACFraction), "", "")
+	for i, ts := range r.RecoveryTimes {
+		if i >= 6 {
+			t.line("  ... and %d more recovery points", len(r.RecoveryTimes)-i)
+			break
+		}
+		t.line("  N%d at t=%v", i+1, fmtDur(ts))
+	}
+	t.line("paper: Nsc takes control at N1, N2, pushes the drone back into φsafer and")
+	t.line("returns control; AC is in control for most of the surveillance mission.")
+	return t.String()
+}
+
+// Fig12b runs the surveillance mission.
+func Fig12b(cfg Fig12bConfig) (Fig12bResult, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Minute
+	}
+	mcfg := mission.DefaultStackConfig(cfg.Seed)
+	mcfg.App = mission.AppConfig{
+		Points: []geom.Vec3{
+			geom.V(3, 3, 2), geom.V(46, 3, 2.5), geom.V(46, 46, 2),
+			geom.V(3, 46, 2.5), geom.V(25, 33, 3),
+		},
+	}
+	if cfg.Faults {
+		for i := 0; ; i++ {
+			start := time.Duration(9+13*i) * time.Second
+			if start >= cfg.Duration {
+				break
+			}
+			mcfg.ACFaults = append(mcfg.ACFaults, controller.Fault{
+				Kind:  controller.FaultFullThrust,
+				Start: start,
+				End:   start + 1200*time.Millisecond,
+				Param: geom.V(1, 0.4, 0),
+			})
+		}
+	}
+	st, err := mission.Build(mcfg)
+	if err != nil {
+		return Fig12bResult{}, fmt.Errorf("fig12b: %w", err)
+	}
+	out, err := sim.Run(sim.RunConfig{
+		Stack:           st,
+		Initial:         plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+		Duration:        cfg.Duration,
+		Seed:            cfg.Seed,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		return Fig12bResult{}, fmt.Errorf("fig12b: %w", err)
+	}
+	m := out.Metrics
+	res := Fig12bResult{
+		Duration:     m.Duration,
+		Distance:     m.DistanceFlown,
+		Targets:      m.TargetsVisited,
+		Crashed:      m.Crashed,
+		MinClearance: m.MinClearance,
+	}
+	if s, ok := m.Modules["safe-motion-primitive"]; ok {
+		res.Disengagements = s.Disengagements
+		res.Reengagements = s.Reengagements
+		res.ACFraction = s.ACFraction()
+	}
+	for _, sw := range out.Switches {
+		if sw.Module == "safe-motion-primitive" && sw.To == rta.ModeSC {
+			res.RecoveryTimes = append(res.RecoveryTimes, sw.Time)
+		}
+	}
+	return res, nil
+}
+
+// Fig12cConfig parameterises the battery-safety experiment.
+type Fig12cConfig struct {
+	Seed          int64
+	InitialCharge float64
+	DrainMultiple float64
+}
+
+// Fig12cResult reproduces Figure 12c: the battery falls below the safety
+// threshold, the battery DM transfers control to the certified lander, and
+// the drone lands with charge to spare — φbat holds.
+type Fig12cResult struct {
+	EngageTime  time.Duration
+	Landed      bool
+	LandTime    time.Duration
+	Crashed     bool
+	FinalCharge float64
+	Tmax        float64
+	CostStar    float64
+}
+
+// Format prints the Figure 12c summary.
+func (r Fig12cResult) Format() string {
+	var t table
+	t.title("Figure 12c: battery-safety RTA — mission aborted, drone lands safely")
+	t.row("lander engaged", "landed", "land time", "crashed", "final charge")
+	t.row(fmtDur(r.EngageTime), fmt.Sprint(r.Landed), fmtDur(r.LandTime),
+		fmt.Sprint(r.Crashed), fmtPct(r.FinalCharge))
+	t.line("switch condition: bt − cost* < Tmax with Tmax=%.4f, cost*=%.5f", r.Tmax, r.CostStar)
+	t.line("paper: when battery falls below the threshold, DM transfers control to Nsc,")
+	t.line("which lands the drone (battery never reaches zero in flight).")
+	return t.String()
+}
+
+// Fig12c runs the battery-safety experiment.
+func Fig12c(cfg Fig12cConfig) (Fig12cResult, error) {
+	if cfg.InitialCharge == 0 {
+		cfg.InitialCharge = 0.92
+	}
+	if cfg.DrainMultiple == 0 {
+		cfg.DrainMultiple = 30
+	}
+	params := plant.DefaultParams()
+	params.IdleDrainPerSec *= cfg.DrainMultiple
+	params.AccelDrainPerSec *= cfg.DrainMultiple
+
+	mcfg := mission.DefaultStackConfig(cfg.Seed)
+	mcfg.PlantParams = params
+	mcfg.App = mission.AppConfig{
+		Points: []geom.Vec3{
+			geom.V(3, 3, 2), geom.V(46, 3, 2), geom.V(46, 46, 2), geom.V(3, 46, 2),
+		},
+	}
+	st, err := mission.Build(mcfg)
+	if err != nil {
+		return Fig12cResult{}, fmt.Errorf("fig12c: %w", err)
+	}
+	out, err := sim.Run(sim.RunConfig{
+		Stack:           st,
+		Initial:         plant.State{Pos: geom.V(3, 3, 2), Battery: cfg.InitialCharge},
+		Duration:        10 * time.Minute,
+		Seed:            cfg.Seed,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		return Fig12cResult{}, fmt.Errorf("fig12c: %w", err)
+	}
+	m := out.Metrics
+	res := Fig12cResult{
+		Landed:      m.Landed,
+		LandTime:    m.LandTime,
+		Crashed:     m.Crashed,
+		FinalCharge: m.BatteryAtEnd,
+		Tmax:        st.Monitor.Tmax(),
+		CostStar:    st.Monitor.CostStar(),
+	}
+	for _, sw := range out.Switches {
+		if sw.Module == "battery-safety" && sw.To == rta.ModeSC {
+			res.EngageTime = sw.Time
+			break
+		}
+	}
+	return res, nil
+}

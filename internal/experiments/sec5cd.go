@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/plan"
+	"repro/internal/plant"
+	"repro/internal/sim"
+)
+
+// Sec5cConfig parameterises the safe-motion-planner experiment.
+type Sec5cConfig struct {
+	Seed    int64
+	Queries int
+	Bug     plan.Bug
+	BugRate float64
+	// ClosedLoop additionally runs the full stack with the buggy planner
+	// under RTA protection.
+	ClosedLoop time.Duration
+}
+
+// Sec5cResult reproduces Section V-C: the buggy third-party RRT* emits
+// colliding motion plans; wrapped in an RTA module with the certified A*
+// planner as SC, the plan followed by the drone never violates φplan.
+type Sec5cResult struct {
+	Queries         int
+	BuggyColliding  int
+	BuggyFailed     int
+	CertColliding   int
+	ClosedLoopRan   bool
+	ClosedCrashed   bool
+	ClosedTargets   int
+	PlannerSwitches int
+	PlannerACFrac   float64
+}
+
+// Format prints the Section V-C comparison.
+func (r Sec5cResult) Format() string {
+	var t table
+	t.title("Section V-C: RTA-protected motion planner (buggy RRT* vs certified A*)")
+	t.row("planner", "colliding plans", "failures")
+	t.row("third-party RRT*", fmt.Sprintf("%d/%d", r.BuggyColliding, r.Queries), fmt.Sprint(r.BuggyFailed))
+	t.row("certified A*", fmt.Sprintf("%d/%d", r.CertColliding, r.Queries), "0")
+	if r.ClosedLoopRan {
+		t.line("closed loop under RTA: crashed=%v targets=%d planner AC→SC switches=%d AC fraction=%s",
+			r.ClosedCrashed, r.ClosedTargets, r.PlannerSwitches, fmtPct(r.PlannerACFrac))
+	}
+	t.line("paper: injected RRT* bugs produce colliding plans; the RTA wrapper ensures the")
+	t.line("waypoints followed never collide with an obstacle (φplan).")
+	return t.String()
+}
+
+// Sec5c runs the planner experiment.
+func Sec5c(cfg Sec5cConfig) (Sec5cResult, error) {
+	if cfg.Queries <= 0 {
+		cfg.Queries = 40
+	}
+	if cfg.Bug == plan.BugNone {
+		cfg.Bug = plan.BugSkipEdgeCheck
+	}
+	if cfg.BugRate == 0 {
+		cfg.BugRate = 0.3
+	}
+	ws := geom.CityWorkspace()
+	const margin = 0.45
+
+	rcfg := plan.DefaultRRTStarConfig(cfg.Seed)
+	rcfg.Margin = margin
+	rcfg.Bug = cfg.Bug
+	rcfg.BugRate = cfg.BugRate
+	buggy, err := plan.NewRRTStar(ws, rcfg)
+	if err != nil {
+		return Sec5cResult{}, err
+	}
+	astar, err := plan.NewAStar(ws, 1.0, margin)
+	if err != nil {
+		return Sec5cResult{}, err
+	}
+
+	res := Sec5cResult{Queries: cfg.Queries}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Queries; i++ {
+		start, ok1 := ws.RandomFreePoint(rng, margin+0.6, 256)
+		goal, ok2 := ws.RandomFreePoint(rng, margin+0.6, 256)
+		if !ok1 || !ok2 {
+			return Sec5cResult{}, fmt.Errorf("sec5c: could not sample free query points")
+		}
+		start.Z, goal.Z = clampF(start.Z, 1, 10), clampF(goal.Z, 1, 10)
+		if p, err := buggy.Plan(start, goal); err != nil {
+			res.BuggyFailed++
+		} else if plan.FirstUnsafeSegment(p, ws, margin) >= 0 {
+			res.BuggyColliding++
+		}
+		p, err := astar.Plan(start, goal)
+		if err != nil {
+			return Sec5cResult{}, fmt.Errorf("sec5c: certified planner failed: %w", err)
+		}
+		if plan.FirstUnsafeSegment(p, ws, margin) >= 0 {
+			res.CertColliding++
+		}
+	}
+
+	if cfg.ClosedLoop > 0 {
+		mcfg := mission.DefaultStackConfig(cfg.Seed)
+		mcfg.PlannerBug = cfg.Bug
+		mcfg.PlannerBugRate = cfg.BugRate
+		// Plan at the tight safety margin: the experiment is about defective
+		// plans reaching the DM, so the planners must not add slack that
+		// masks the injected bug.
+		mcfg.PlanMargin = mcfg.Margin + 0.05
+		mcfg.App = mission.AppConfig{Random: true}
+		st, err := mission.Build(mcfg)
+		if err != nil {
+			return Sec5cResult{}, fmt.Errorf("sec5c closed loop: %w", err)
+		}
+		out, err := sim.Run(sim.RunConfig{
+			Stack:           st,
+			Initial:         plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+			Duration:        cfg.ClosedLoop,
+			Seed:            cfg.Seed,
+			CheckInvariants: true,
+		})
+		if err != nil {
+			return Sec5cResult{}, fmt.Errorf("sec5c closed loop: %w", err)
+		}
+		res.ClosedLoopRan = true
+		res.ClosedCrashed = out.Metrics.Crashed
+		res.ClosedTargets = out.Metrics.TargetsVisited
+		if s, ok := out.Metrics.Modules["safe-motion-planner"]; ok {
+			res.PlannerSwitches = s.Disengagements
+			res.PlannerACFrac = s.ACFraction()
+		}
+	}
+	return res, nil
+}
+
+// Sec5dConfig parameterises the endurance experiment.
+type Sec5dConfig struct {
+	Seed int64
+	// SimHours is the total simulated flight time per configuration.
+	SimHours float64
+	// SegmentMinutes splits the total into independent missions.
+	SegmentMinutes int
+	// JitterProb is the per-firing outage-start probability in the
+	// best-effort-scheduling configuration.
+	JitterProb float64
+}
+
+// Sec5dRow is one scheduling configuration of the endurance study.
+type Sec5dRow struct {
+	Scheduling     string
+	SimHours       float64
+	DistanceKm     float64
+	Disengagements int
+	Crashes        int
+	ACFraction     float64
+	DroppedFirings int
+}
+
+// Sec5dResult reproduces the Section V-D endurance study: 104 hours of
+// software-in-the-loop simulation, ~1505 km flown, 109 disengagements where
+// an SC took over and avoided a failure, 34 crashes all traced to the SC not
+// being scheduled in time (absent on an RTOS), and the AC in control > 96%
+// of the time.
+type Sec5dResult struct {
+	Rows []Sec5dRow
+}
+
+// Format prints the Section V-D endurance table.
+func (r Sec5dResult) Format() string {
+	var t table
+	t.title("Section V-D: endurance study (randomised surveillance, scaled hours)")
+	t.row("scheduling", "sim hours", "distance", "diseng.", "crashes", "AC fraction")
+	for _, row := range r.Rows {
+		t.row(row.Scheduling, fmt.Sprintf("%.2f h", row.SimHours),
+			fmt.Sprintf("%.1f km", row.DistanceKm), fmt.Sprint(row.Disengagements),
+			fmt.Sprint(row.Crashes), fmtPct(row.ACFraction))
+	}
+	t.line("paper (104 h): 1505 km, 109 disengagements, 34 crashes (all: SC not scheduled")
+	t.line("in time — expected to vanish on an RTOS), AC in control > 96%% of the time.")
+	return t.String()
+}
+
+// Sec5d runs the endurance study under RTOS-like (no jitter) and
+// best-effort (burst outage) scheduling.
+func Sec5d(cfg Sec5dConfig) (Sec5dResult, error) {
+	if cfg.SimHours <= 0 {
+		cfg.SimHours = 0.5
+	}
+	if cfg.SegmentMinutes <= 0 {
+		cfg.SegmentMinutes = 5
+	}
+	if cfg.JitterProb == 0 {
+		cfg.JitterProb = 0.006
+	}
+	var res Sec5dResult
+	for _, sched := range []struct {
+		name   string
+		jitter float64
+	}{
+		{"best-effort OS", cfg.JitterProb},
+		{"RTOS (no jitter)", 0},
+	} {
+		row := Sec5dRow{Scheduling: sched.name}
+		segments := int(cfg.SimHours*60.0/float64(cfg.SegmentMinutes) + 0.5)
+		var acTime, totalTime time.Duration
+		for seg := 0; seg < segments; seg++ {
+			seed := cfg.Seed + int64(seg)*101
+			mcfg := mission.DefaultStackConfig(seed)
+			mcfg.App = mission.AppConfig{Random: true}
+			// A sporadic fault per segment gives the SCs something to catch,
+			// matching the paper's rare third-party failures (109
+			// disengagements in 104 hours).
+			start := time.Duration(60+seed%45) * time.Second
+			mcfg.ACFaults = append(mcfg.ACFaults, controller.Fault{
+				Kind:  controller.FaultFullThrust,
+				Start: start,
+				End:   start + 1100*time.Millisecond,
+				Param: geom.V(1, 0.5, 0),
+			})
+			st, err := mission.Build(mcfg)
+			if err != nil {
+				return Sec5dResult{}, fmt.Errorf("sec5d: %w", err)
+			}
+			out, err := sim.Run(sim.RunConfig{
+				Stack:        st,
+				Initial:      plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+				Duration:     time.Duration(cfg.SegmentMinutes) * time.Minute,
+				Seed:         seed,
+				JitterProb:   sched.jitter,
+				JitterSCOnly: true,
+			})
+			if err != nil {
+				return Sec5dResult{}, fmt.Errorf("sec5d: %w", err)
+			}
+			m := out.Metrics
+			row.SimHours += m.Duration.Hours()
+			row.DistanceKm += m.DistanceFlown / 1000
+			row.Disengagements += m.TotalDisengagements()
+			row.DroppedFirings += m.DroppedFirings
+			if m.Crashed {
+				row.Crashes++
+			}
+			if s, ok := m.Modules["safe-motion-primitive"]; ok {
+				acTime += s.ACTime
+				totalTime += s.ACTime + s.SCTime
+			}
+		}
+		if totalTime > 0 {
+			row.ACFraction = float64(acTime) / float64(totalTime)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,304 @@
+// Package explore is the systematic-testing backend of the SOTER tool chain
+// (Section V, "SOTER tool chain"): it enumerates, in a model-checking style,
+// executions of an RTA system by controlling the interleaving of node
+// firings with an external scheduler. Since a SOTER program is a multi-rate
+// periodic system, only schedules satisfying bounded-asynchrony semantics
+// are explored: time advances in rounds, and within a round every node fires
+// exactly once, in any order — the scheduler enumerates (or samples) the
+// per-round permutations.
+//
+// Executions are replay-based: systems carry arbitrary local state and
+// plant environments, so instead of snapshotting configurations the engine
+// re-runs a fresh system instance per schedule, driving choice points from a
+// choice vector. Exhaustive mode enumerates choice vectors in lexicographic
+// order (a stateless DFS); random mode samples one schedule per seed.
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/pubsub"
+	"repro/internal/rta"
+	"repro/internal/runtime"
+)
+
+// Instance is a freshly built system under test: the engine needs a new one
+// per execution because node-local and environment state is not resettable.
+type Instance struct {
+	System *rta.System
+	// Env is the optional environment hook (plant in the loop).
+	Env runtime.Environment
+	// EnvTopics declares environment-input topics with defaults.
+	EnvTopics []pubsub.Topic
+	// Property is an optional safety property checked after every discrete
+	// step; returning an error marks a violation. The executor's built-in
+	// φInv monitor runs in addition.
+	Property func(exec *runtime.Executor) error
+}
+
+// Builder constructs a fresh instance; it is called once per schedule.
+type Builder func() (*Instance, error)
+
+// Config configures an exploration.
+type Config struct {
+	// Build constructs the system under test.
+	Build Builder
+	// Horizon bounds each execution in system time.
+	Horizon time.Duration
+	// MaxSchedules bounds the number of executions (exhaustive mode may
+	// terminate earlier when the tree is exhausted).
+	MaxSchedules int
+	// MaxPermutation caps the branching at a choice point: with k nodes
+	// firing at an instant there are k! interleavings; only the first
+	// MaxPermutation are explored (0 means all, capped internally at 720).
+	MaxPermutation int
+	// Seeds enables random mode: one execution per seed, with uniformly
+	// random per-instant permutations, instead of exhaustive enumeration.
+	Seeds []int64
+	// StopAtFirstViolation ends the exploration at the first
+	// counterexample.
+	StopAtFirstViolation bool
+}
+
+// Violation is a counterexample: the choice vector reproduces it exactly by
+// replaying the same schedule.
+type Violation struct {
+	Choices []int
+	Seed    int64 // random mode only
+	Time    time.Duration
+	Err     error
+}
+
+// Report summarises an exploration.
+type Report struct {
+	Schedules    int
+	ChoicePoints int
+	Violations   []Violation
+	Exhausted    bool // exhaustive mode visited the whole bounded tree
+}
+
+// Run performs the exploration.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Build == nil {
+		return nil, errors.New("explore: nil builder")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, errors.New("explore: non-positive horizon")
+	}
+	if cfg.MaxSchedules <= 0 {
+		cfg.MaxSchedules = 128
+	}
+	if cfg.MaxPermutation <= 0 || cfg.MaxPermutation > 720 {
+		cfg.MaxPermutation = 720
+	}
+	if len(cfg.Seeds) > 0 {
+		return runRandom(cfg)
+	}
+	return runExhaustive(cfg)
+}
+
+// runExhaustive enumerates choice vectors in lexicographic order.
+func runExhaustive(cfg Config) (*Report, error) {
+	rep := &Report{}
+	prefix := []int{}
+	for rep.Schedules < cfg.MaxSchedules {
+		tr, err := execute(cfg, prefix, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep.Schedules++
+		rep.ChoicePoints += len(tr.chosen)
+		if tr.violation != nil {
+			rep.Violations = append(rep.Violations, *tr.violation)
+			if cfg.StopAtFirstViolation {
+				return rep, nil
+			}
+		}
+		// Lexicographic increment of the full choice vector.
+		next := nextVector(tr.chosen, tr.branching)
+		if next == nil {
+			rep.Exhausted = true
+			return rep, nil
+		}
+		prefix = next
+	}
+	return rep, nil
+}
+
+// runRandom samples one schedule per seed.
+func runRandom(cfg Config) (*Report, error) {
+	rep := &Report{}
+	for _, seed := range cfg.Seeds {
+		if rep.Schedules >= cfg.MaxSchedules {
+			break
+		}
+		tr, err := execute(cfg, nil, &seed)
+		if err != nil {
+			return nil, err
+		}
+		rep.Schedules++
+		rep.ChoicePoints += len(tr.chosen)
+		if tr.violation != nil {
+			v := *tr.violation
+			v.Seed = seed
+			rep.Violations = append(rep.Violations, v)
+			if cfg.StopAtFirstViolation {
+				return rep, nil
+			}
+		}
+	}
+	return rep, nil
+}
+
+// nextVector returns the lexicographically next choice vector, or nil when
+// the tree is exhausted.
+func nextVector(chosen, branching []int) []int {
+	i := len(chosen) - 1
+	for i >= 0 && chosen[i]+1 >= branching[i] {
+		i--
+	}
+	if i < 0 {
+		return nil
+	}
+	next := make([]int, i+1)
+	copy(next, chosen[:i+1])
+	next[i]++
+	return next
+}
+
+type trace struct {
+	chosen    []int
+	branching []int
+	violation *Violation
+}
+
+// execute runs one schedule: choice points beyond the prefix pick index 0
+// (exhaustive) or a random index (random mode with rngSeed).
+func execute(cfg Config, prefix []int, rngSeed *int64) (*trace, error) {
+	inst, err := cfg.Build()
+	if err != nil {
+		return nil, fmt.Errorf("explore: build: %w", err)
+	}
+	tr := &trace{}
+	rng := newSplitMix(rngSeed)
+
+	order := func(_ time.Duration, firing []string) []string {
+		b := branchingOf(len(firing), cfg.MaxPermutation)
+		var choice int
+		switch {
+		case len(tr.chosen) < len(prefix):
+			choice = prefix[len(tr.chosen)]
+			if choice >= b {
+				choice = b - 1
+			}
+		case rng != nil:
+			choice = int(rng.next() % uint64(b))
+		default:
+			choice = 0
+		}
+		tr.chosen = append(tr.chosen, choice)
+		tr.branching = append(tr.branching, b)
+		return permute(firing, choice)
+	}
+
+	opts := []runtime.Option{
+		runtime.WithScheduleOrder(order),
+		runtime.WithInvariantChecking(),
+	}
+	if inst.Env != nil {
+		opts = append(opts, runtime.WithEnvironment(inst.Env))
+	}
+	exec, err := runtime.New(inst.System, inst.EnvTopics, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("explore: executor: %w", err)
+	}
+
+	for exec.Now() <= cfg.Horizon {
+		progressed, err := exec.Step()
+		if err != nil {
+			tr.violation = &Violation{
+				Choices: append([]int(nil), tr.chosen...),
+				Time:    exec.Now(),
+				Err:     err,
+			}
+			return tr, nil
+		}
+		if !progressed {
+			break
+		}
+		if inst.Property != nil {
+			if perr := inst.Property(exec); perr != nil {
+				tr.violation = &Violation{
+					Choices: append([]int(nil), tr.chosen...),
+					Time:    exec.Now(),
+					Err:     perr,
+				}
+				return tr, nil
+			}
+		}
+		if exec.Now() > cfg.Horizon {
+			break
+		}
+	}
+	return tr, nil
+}
+
+// branchingOf returns min(k!, cap) without overflow.
+func branchingOf(k, permCap int) int {
+	f := 1
+	for i := 2; i <= k; i++ {
+		f *= i
+		if f >= permCap {
+			return permCap
+		}
+	}
+	return f
+}
+
+// permute returns the idx-th permutation (factorial number system) of the
+// slice, leaving the input unmodified.
+func permute(s []string, idx int) []string {
+	out := make([]string, 0, len(s))
+	rem := append([]string(nil), s...)
+	for n := len(rem); n > 0; n-- {
+		f := factorial(n - 1)
+		i := 0
+		if f > 0 {
+			i = (idx / f) % n
+		}
+		out = append(out, rem[i])
+		rem = append(rem[:i], rem[i+1:]...)
+	}
+	return out
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+		if f > 1<<30 {
+			return 1 << 30
+		}
+	}
+	return f
+}
+
+// splitMix is a tiny deterministic PRNG for schedule sampling.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed *int64) *splitMix {
+	if seed == nil {
+		return nil
+	}
+	return &splitMix{s: uint64(*seed)*2685821657736338717 + 1}
+}
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

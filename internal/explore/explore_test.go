@@ -1,0 +1,295 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/pubsub"
+	"repro/internal/rta"
+	"repro/internal/runtime"
+)
+
+// buildToggleSystem builds a module whose safety depends on the interleaving
+// of two writer nodes racing on the monitored topic: writer "bad" publishes
+// danger=true, writer "good" publishes danger=false, both every 10ms. The
+// module's φsafe is ¬danger at DM sampling instants, so schedules where
+// "bad" fires after "good" at a sampling instant violate φInv — exactly the
+// class of interleaving bugs the paper's systematic-testing backend hunts.
+func buildToggleSystem() (*Instance, error) {
+	writer := func(name string, val bool) (*node.Node, error) {
+		return node.New(name, 10*time.Millisecond, nil, []pubsub.TopicName{"danger/" + pubsub.TopicName(name)},
+			func(st node.State, _ pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+				return st, pubsub.Valuation{"danger/" + pubsub.TopicName(name): val}, nil
+			})
+	}
+	// A combiner that ORs the two writers... to keep the race observable we
+	// instead have both writers publish on their own topic and the module
+	// monitor the one written LAST via a shared mailbox node.
+	mailbox, err := node.New("mailbox", 10*time.Millisecond,
+		[]pubsub.TopicName{"danger/bad", "danger/good"}, []pubsub.TopicName{"danger"},
+		func(st node.State, in pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+			bad, _ := in["danger/bad"].(bool)
+			return st, pubsub.Valuation{"danger": bad}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	_ = mailbox
+
+	bad, err := writer("bad", true)
+	if err != nil {
+		return nil, err
+	}
+	good, err := writer("good", false)
+	if err != nil {
+		return nil, err
+	}
+	// AC and SC both idle; the module just monitors.
+	mkCtrl := func(name string) (*node.Node, error) {
+		return node.New(name, 10*time.Millisecond, []pubsub.TopicName{"danger/bad"}, []pubsub.TopicName{"cmd"},
+			func(st node.State, _ pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+				return st, nil, nil
+			})
+	}
+	ac, err := mkCtrl("m.ac")
+	if err != nil {
+		return nil, err
+	}
+	sc, err := mkCtrl("m.sc")
+	if err != nil {
+		return nil, err
+	}
+	mod, err := rta.NewModule(rta.Decl{
+		Name:  "m",
+		AC:    ac,
+		SC:    sc,
+		Delta: 10 * time.Millisecond,
+		TTF2Delta: func(v pubsub.Valuation) bool {
+			b, _ := v["danger"].(bool)
+			return b
+		},
+		InSafer: func(v pubsub.Valuation) bool {
+			b, _ := v["danger"].(bool)
+			return !b
+		},
+		// φsafe fails when the DM samples danger=true — which happens only
+		// under schedules where "bad" fired after "good" in the PREVIOUS
+		// round (the mailbox reads topics before this round's writers).
+		Safe: func(v pubsub.Valuation) bool {
+			b, _ := v["danger"].(bool)
+			return !b
+		},
+		Monitored: []pubsub.TopicName{"danger"},
+		DMPhase:   10 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys, err := rta.NewSystem([]*rta.Module{mod}, []*node.Node{bad, good, mailbox})
+	if err != nil {
+		return nil, err
+	}
+	return &Instance{System: sys}, nil
+}
+
+func TestExhaustiveFindsInterleavingViolation(t *testing.T) {
+	rep, err := Run(Config{
+		Build:        buildToggleSystem,
+		Horizon:      50 * time.Millisecond,
+		MaxSchedules: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("exhaustive exploration missed the schedule-dependent violation")
+	}
+	if rep.Schedules == 0 || rep.ChoicePoints == 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	// The counterexample replays: re-running its exact choice vector
+	// reproduces the violation at the same time.
+	v := rep.Violations[0]
+	var iv *runtime.InvariantViolationError
+	if !errors.As(v.Err, &iv) {
+		t.Fatalf("violation error = %v", v.Err)
+	}
+	rep2, err := Run(Config{
+		Build:                buildToggleSystem,
+		Horizon:              v.Time,
+		MaxSchedules:         1,
+		StopAtFirstViolation: true,
+	})
+	_ = rep2 // the default-order first schedule may or may not hit it; the
+	// deterministic replay below is the real check.
+	tr, err := execute(Config{Build: buildToggleSystem, Horizon: v.Time, MaxPermutation: 720}, v.Choices, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.violation == nil || tr.violation.Time != v.Time {
+		t.Fatalf("replay did not reproduce the violation: %+v", tr.violation)
+	}
+}
+
+func TestRandomModeFindsViolation(t *testing.T) {
+	seeds := make([]int64, 60)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	rep, err := Run(Config{
+		Build:        buildToggleSystem,
+		Horizon:      50 * time.Millisecond,
+		MaxSchedules: len(seeds),
+		Seeds:        seeds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("random exploration missed the violation across 60 seeds")
+	}
+	if rep.Violations[0].Seed == 0 {
+		t.Error("random violation should record its seed")
+	}
+}
+
+func TestExhaustiveTerminatesOnSafeSystem(t *testing.T) {
+	build := func() (*Instance, error) {
+		n, err := node.New("solo", 10*time.Millisecond, nil, []pubsub.TopicName{"t"},
+			func(st node.State, _ pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+				return st, pubsub.Valuation{"t": 1}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		sys, err := rta.NewSystem(nil, []*node.Node{n})
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{System: sys}, nil
+	}
+	rep, err := Run(Config{Build: build, Horizon: 100 * time.Millisecond, MaxSchedules: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One node: every choice point has branching 1, so the tree has exactly
+	// one schedule.
+	if !rep.Exhausted || rep.Schedules != 1 || len(rep.Violations) != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestPropertyHook(t *testing.T) {
+	wantErr := fmt.Errorf("custom property failed")
+	build := func() (*Instance, error) {
+		n, err := node.New("solo", 10*time.Millisecond, nil, []pubsub.TopicName{"t"},
+			func(st node.State, _ pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+				return st, pubsub.Valuation{"t": 1}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		sys, err := rta.NewSystem(nil, []*node.Node{n})
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{
+			System: sys,
+			Property: func(exec *runtime.Executor) error {
+				if exec.Now() >= 30*time.Millisecond {
+					return wantErr
+				}
+				return nil
+			},
+		}, nil
+	}
+	rep, err := Run(Config{
+		Build:                build,
+		Horizon:              100 * time.Millisecond,
+		MaxSchedules:         5,
+		StopAtFirstViolation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 1 || !errors.Is(rep.Violations[0].Err, wantErr) {
+		t.Errorf("violations = %+v", rep.Violations)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{Horizon: time.Second}); err == nil {
+		t.Error("nil builder accepted")
+	}
+	if _, err := Run(Config{Build: buildToggleSystem}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestPermute(t *testing.T) {
+	s := []string{"a", "b", "c"}
+	var got []string
+	seen := map[string]bool{}
+	for idx := 0; idx < 6; idx++ {
+		got = permute(s, idx)
+		if len(got) != 3 {
+			t.Fatalf("permute(%d) = %v", idx, got)
+		}
+		key := fmt.Sprint(got)
+		if seen[key] {
+			t.Fatalf("permutation %d repeated %v", idx, got)
+		}
+		seen[key] = true
+		sorted := append([]string(nil), got...)
+		sort.Strings(sorted)
+		if !reflect.DeepEqual(sorted, s) {
+			t.Fatalf("permute(%d) = %v is not a permutation", idx, got)
+		}
+	}
+	// Index 0 is the identity.
+	if !reflect.DeepEqual(permute(s, 0), s) {
+		t.Error("permute(0) is not the identity")
+	}
+	// The input is not modified.
+	if !reflect.DeepEqual(s, []string{"a", "b", "c"}) {
+		t.Error("permute mutated its input")
+	}
+}
+
+func TestNextVector(t *testing.T) {
+	tests := []struct {
+		chosen, branching, want []int
+	}{
+		{[]int{0, 0}, []int{2, 2}, []int{0, 1}},
+		{[]int{0, 1}, []int{2, 2}, []int{1}},
+		{[]int{1, 1}, []int{2, 2}, nil},
+		{nil, nil, nil},
+		{[]int{0, 2, 0}, []int{1, 3, 1}, []int{0, 2, 0}[0:0]}, // increment impossible at tail → nil? see below
+	}
+	for i, tt := range tests[:4] {
+		got := nextVector(tt.chosen, tt.branching)
+		if !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("case %d: nextVector = %v, want %v", i, got, tt.want)
+		}
+	}
+	// Branching-1 positions can never be incremented.
+	if got := nextVector([]int{0, 2, 0}, []int{1, 3, 1}); got != nil {
+		t.Errorf("saturated vector incremented to %v", got)
+	}
+}
+
+func TestBranchingOf(t *testing.T) {
+	for k, want := range map[int]int{0: 1, 1: 1, 2: 2, 3: 6, 4: 24} {
+		if got := branchingOf(k, 720); got != want {
+			t.Errorf("branchingOf(%d) = %d, want %d", k, got, want)
+		}
+	}
+	if got := branchingOf(10, 100); got != 100 {
+		t.Errorf("cap not applied: %d", got)
+	}
+}

@@ -1,0 +1,266 @@
+// Package live executes an RTA system in real time: one goroutine per node,
+// driven by OS timers at the node's declared period — the deployment shape
+// of the paper's generated C runtime ("the periodic behavior of each node
+// was implemented using OS timers"). The discrete-event executor in
+// internal/runtime is the reference semantics used for testing and model
+// checking; this runner is the bridge toward running the same node graph on
+// an actual robot, where jitter and preemption are real rather than
+// simulated.
+//
+// Every node goroutine performs the read → compute → publish step of the
+// paper's programming model against a mutex-guarded topic store; decision
+// modules additionally update the shared output-enable map, so exactly one
+// of {AC, SC} publishes — the same OE discipline as the reference semantics,
+// enforced under concurrency.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/pubsub"
+	"repro/internal/rta"
+	"repro/internal/runtime"
+)
+
+// Config configures a live runner.
+type Config struct {
+	// System is the node graph to execute.
+	System *rta.System
+	// EnvTopics declares environment-input topics with their defaults.
+	EnvTopics []pubsub.Topic
+	// OnSwitch, when set, is invoked (on a DM's goroutine) for every mode
+	// change. It must be fast and must not call back into the runner.
+	OnSwitch func(runtime.Switch)
+}
+
+// Runner executes the system until Stop is called. Create with New; a
+// Runner must not be copied.
+type Runner struct {
+	sys      *rta.System
+	onSwitch func(runtime.Switch)
+
+	mu       sync.Mutex
+	store    *pubsub.Store
+	oe       map[string]bool
+	modes    map[string]rta.Mode
+	switches []runtime.Switch
+	started  time.Time
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// New builds a runner in the initial configuration: every module in SC mode
+// with the SC outputs enabled.
+func New(cfg Config) (*Runner, error) {
+	if cfg.System == nil {
+		return nil, errors.New("live: nil system")
+	}
+	declared := make(map[pubsub.TopicName]bool, len(cfg.EnvTopics))
+	topics := make([]pubsub.Topic, 0, len(cfg.EnvTopics))
+	for _, t := range cfg.EnvTopics {
+		if declared[t.Name] {
+			return nil, fmt.Errorf("live: duplicate environment topic %q", t.Name)
+		}
+		declared[t.Name] = true
+		topics = append(topics, t)
+	}
+	for _, t := range cfg.System.Topics() {
+		if !declared[t] {
+			declared[t] = true
+			topics = append(topics, pubsub.Topic{Name: t})
+		}
+	}
+	store, err := pubsub.NewStore(topics...)
+	if err != nil {
+		return nil, fmt.Errorf("live: topic store: %w", err)
+	}
+	r := &Runner{
+		sys:      cfg.System,
+		onSwitch: cfg.OnSwitch,
+		store:    store,
+		oe:       make(map[string]bool),
+		modes:    make(map[string]rta.Mode),
+		stop:     make(chan struct{}),
+	}
+	for dm, ac := range cfg.System.ACNodes() {
+		r.oe[ac] = false
+		r.oe[cfg.System.SCNodes()[dm]] = true
+	}
+	for _, m := range cfg.System.Modules() {
+		r.modes[m.Name()] = rta.ModeSC
+	}
+	return r, nil
+}
+
+// Start launches one goroutine per node. It is idempotent.
+func (r *Runner) Start() {
+	r.startOnce.Do(func() {
+		r.mu.Lock()
+		r.started = time.Now()
+		r.mu.Unlock()
+		for _, name := range r.sys.NodeNames() {
+			n, _ := r.sys.Node(name)
+			r.wg.Add(1)
+			go r.runNode(n)
+		}
+	})
+}
+
+// Stop signals every node goroutine to exit and waits for them.
+func (r *Runner) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+// Mode returns the current mode of the named module.
+func (r *Runner) Mode(module string) (rta.Mode, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.modes[module]
+	return m, ok
+}
+
+// Switches returns a copy of the recorded mode changes.
+func (r *Runner) Switches() []runtime.Switch {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]runtime.Switch, len(r.switches))
+	copy(out, r.switches)
+	return out
+}
+
+// Snapshot returns a copy of the current topic valuation.
+func (r *Runner) Snapshot() pubsub.Valuation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.Snapshot()
+}
+
+// SetTopic updates a topic from the environment (sensors, test harnesses).
+func (r *Runner) SetTopic(name pubsub.TopicName, v pubsub.Value) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store.Set(name, v)
+}
+
+// runNode is the per-node goroutine: a ticker at the node's period drives
+// the read → compute → publish step.
+func (r *Runner) runNode(n *node.Node) {
+	defer r.wg.Done()
+	if phase := n.Schedule().Phase; phase > 0 {
+		select {
+		case <-time.After(phase):
+		case <-r.stop:
+			return
+		}
+	}
+	ticker := time.NewTicker(n.Period())
+	defer ticker.Stop()
+	local := n.InitState()
+	mod, isDM := r.sys.IsDM(n.Name())
+	for {
+		select {
+		case <-ticker.C:
+			var err error
+			local, err = r.fire(n, local, mod, isDM)
+			if err != nil {
+				// A failing node stops firing; the RTA discipline keeps the
+				// rest of the system safe (its partner controller is gated
+				// by OE, and a dead AC is exactly the fault the DM covers).
+				return
+			}
+		case <-r.stop:
+			return
+		}
+	}
+}
+
+// fire performs one step of the node under the runner's lock discipline.
+func (r *Runner) fire(n *node.Node, local node.State, mod *rta.Module, isDM bool) (node.State, error) {
+	r.mu.Lock()
+	if isDM {
+		// The runner's mode map is the authoritative DM state: a coordinated
+		// demotion may have overridden the goroutine's private copy since
+		// the last tick.
+		local = r.modes[mod.Name()]
+	}
+	in, err := r.store.Read(n.Inputs())
+	r.mu.Unlock()
+	if err != nil {
+		return local, err
+	}
+
+	next, out, err := n.Step(local, in)
+	if err != nil {
+		return local, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if isDM {
+		mode, ok := next.(rta.Mode)
+		if !ok {
+			return local, fmt.Errorf("live: DM %q returned %T", n.Name(), next)
+		}
+		prev := r.modes[mod.Name()]
+		r.modes[mod.Name()] = mode
+		r.oe[mod.AC().Name()] = mode == rta.ModeAC
+		r.oe[mod.SC().Name()] = mode != rta.ModeAC
+		if mode != prev {
+			r.recordSwitchLocked(runtime.Switch{
+				Time:   time.Since(r.started),
+				Module: mod.Name(),
+				From:   prev,
+				To:     mode,
+			})
+			if mode == rta.ModeSC {
+				r.forceCoordinatedLocked(mod)
+			}
+		}
+		return next, nil
+	}
+	if en, gated := r.oe[n.Name()]; !gated || en {
+		if err := r.store.Write(out); err != nil {
+			return local, err
+		}
+	}
+	return next, nil
+}
+
+// forceCoordinatedLocked demotes coordinated partners; the caller holds mu.
+func (r *Runner) forceCoordinatedLocked(trigger *rta.Module) {
+	for _, partner := range r.sys.CoordinatedWith(trigger.Name()) {
+		if r.modes[partner.Name()] == rta.ModeSC {
+			continue
+		}
+		prev := r.modes[partner.Name()]
+		r.modes[partner.Name()] = rta.ModeSC
+		r.oe[partner.AC().Name()] = false
+		r.oe[partner.SC().Name()] = true
+		r.recordSwitchLocked(runtime.Switch{
+			Time:        time.Since(r.started),
+			Module:      partner.Name(),
+			From:        prev,
+			To:          rta.ModeSC,
+			Coordinated: true,
+		})
+	}
+}
+
+// recordSwitchLocked appends a switch and dispatches the hook outside the
+// lock; the caller holds mu.
+func (r *Runner) recordSwitchLocked(sw runtime.Switch) {
+	r.switches = append(r.switches, sw)
+	if r.onSwitch != nil {
+		// Dispatch asynchronously so a slow hook cannot stall a DM tick.
+		hook := r.onSwitch
+		go hook(sw)
+	}
+}

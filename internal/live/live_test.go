@@ -1,0 +1,209 @@
+package live
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/pubsub"
+	"repro/internal/rta"
+	"repro/internal/runtime"
+)
+
+// The live tests run a 1D rover (walls at 0 and 100) with millisecond
+// periods so a fraction of a wall-clock second covers many control cycles.
+// Physics is itself a plain node ("plant") owning the rover state — the
+// whole closed loop runs as concurrent goroutines. Run with -race.
+
+const (
+	lAccel  = 200.0 // fast dynamics so wall-clock tests stay short
+	lVmax   = 50.0
+	lHi     = 40.0
+	lMargin = 1.0
+	lTick   = time.Millisecond
+	lDelta  = 4 * time.Millisecond
+)
+
+type lrover struct{ x, v float64 }
+
+func lBrake(v float64) float64 { return v * v / (2 * lAccel) }
+
+func lMaxDisp(v, t float64) float64 {
+	v = math.Min(v, lVmax)
+	t1 := (lVmax - v) / lAccel
+	var d float64
+	if t <= t1 {
+		d = v*t + 0.5*lAccel*t*t
+	} else {
+		d = v*t1 + 0.5*lAccel*t1*t1 + lVmax*(t-t1)
+	}
+	return math.Max(0, d)
+}
+
+func lTTF(x, v float64, horizon float64) bool {
+	vHi := math.Min(lVmax, v+lAccel*horizon)
+	hi := x + lMaxDisp(v, horizon) + lBrake(math.Max(vHi, 0))
+	return hi > lHi-lMargin || x-lBrake(math.Max(-v, 0)) < lMargin
+}
+
+func buildLiveSystem(t *testing.T) *rta.System {
+	t.Helper()
+	stateOf := func(in pubsub.Valuation) (lrover, bool) {
+		raw, ok := in["rover/state"]
+		if !ok || raw == nil {
+			return lrover{}, false
+		}
+		r, ok := raw.(lrover)
+		return r, ok
+	}
+	ac, err := node.New("r.ac", lTick, []pubsub.TopicName{"rover/state"}, []pubsub.TopicName{"rover/cmd"},
+		func(st node.State, _ pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+			return st, pubsub.Valuation{"rover/cmd": lAccel}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := node.New("r.sc", lTick, []pubsub.TopicName{"rover/state"}, []pubsub.TopicName{"rover/cmd"},
+		func(st node.State, in pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+			r, ok := stateOf(in)
+			if !ok {
+				return st, pubsub.Valuation{"rover/cmd": 0.0}, nil
+			}
+			u := math.Max(-lAccel, math.Min(lAccel, -r.v/lTick.Seconds()))
+			return st, pubsub.Valuation{"rover/cmd": u}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := rta.NewModule(rta.Decl{
+		Name:  "r",
+		AC:    ac,
+		SC:    sc,
+		Delta: lDelta,
+		TTF2Delta: func(v pubsub.Valuation) bool {
+			r, ok := stateOf(v)
+			return !ok || lTTF(r.x, r.v, (2*lDelta).Seconds())
+		},
+		InSafer: func(v pubsub.Valuation) bool {
+			r, ok := stateOf(v)
+			return ok && !lTTF(r.x, r.v, (4*lDelta).Seconds())
+		},
+		Safe: func(v pubsub.Valuation) bool {
+			r, ok := stateOf(v)
+			return !ok || (r.x >= lMargin/2 && r.x <= lHi-lMargin/2)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plant node integrates the rover at 1ms and publishes the state.
+	plantNode, err := node.New("plant", lTick, []pubsub.TopicName{"rover/cmd"}, []pubsub.TopicName{"rover/state"},
+		func(st node.State, in pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+			r, _ := st.(lrover)
+			u := 0.0
+			if raw := in["rover/cmd"]; raw != nil {
+				if v, ok := raw.(float64); ok {
+					u = math.Max(-lAccel, math.Min(lAccel, v))
+				}
+			}
+			dt := lTick.Seconds()
+			r.v = math.Max(-lVmax, math.Min(lVmax, r.v+u*dt))
+			r.x += r.v * dt
+			return r, pubsub.Valuation{"rover/state": r}, nil
+		},
+		node.WithInit(func() node.State { return lrover{x: 10} }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := rta.NewSystem([]*rta.Module{mod}, []*node.Node{plantNode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestLiveRunnerKeepsRoverSafe(t *testing.T) {
+	sys := buildLiveSystem(t)
+	var switchCount atomic.Int64
+	r, err := New(Config{
+		System:   sys,
+		OnSwitch: func(runtime.Switch) { switchCount.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	deadline := time.After(900 * time.Millisecond)
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	worst := 0.0
+loop:
+	for {
+		select {
+		case <-deadline:
+			break loop
+		case <-tick.C:
+			snap := r.Snapshot()
+			if raw := snap["rover/state"]; raw != nil {
+				rv := raw.(lrover)
+				if rv.x > worst {
+					worst = rv.x
+				}
+				if rv.x > lHi || rv.x < 0 {
+					r.Stop()
+					t.Fatalf("rover escaped live: x=%v", rv.x)
+				}
+			}
+		}
+	}
+	r.Stop()
+	// From x=10 toward the wall at 40 the AC covers the distance well within
+	// the run; the RTA must have parked it inside the wall margin.
+	if worst < 20 {
+		t.Errorf("rover made little progress under the live AC: peak x=%v", worst)
+	}
+	if worst > lHi {
+		t.Errorf("rover pierced the wall: peak x=%v", worst)
+	}
+	if switchCount.Load() == 0 {
+		t.Error("no mode switches observed live")
+	}
+	if _, ok := r.Mode("r"); !ok {
+		t.Error("Mode lookup failed")
+	}
+	// Stop is idempotent and Start after Stop is a no-op (Once).
+	r.Stop()
+}
+
+func TestLiveRunnerValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil system accepted")
+	}
+	sys := buildLiveSystem(t)
+	if _, err := New(Config{
+		System:    sys,
+		EnvTopics: []pubsub.Topic{{Name: "x"}, {Name: "x"}},
+	}); err == nil {
+		t.Error("duplicate env topic accepted")
+	}
+}
+
+func TestLiveSetTopic(t *testing.T) {
+	sys := buildLiveSystem(t)
+	r, err := New(Config{System: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetTopic("rover/state", lrover{x: 42}); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if rv := snap["rover/state"].(lrover); rv.x != 42 {
+		t.Errorf("SetTopic did not stick: %v", rv)
+	}
+	if err := r.SetTopic("ghost", 1); err == nil {
+		t.Error("undeclared topic accepted")
+	}
+}

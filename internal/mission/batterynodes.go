@@ -1,0 +1,163 @@
+package mission
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/battery"
+	"repro/internal/geom"
+	"repro/internal/node"
+	"repro/internal/pubsub"
+	"repro/internal/rta"
+)
+
+// batteryFwdState tracks plan sequence numbers for the battery AC node.
+type batteryFwdState struct {
+	seq      uint64
+	lastPlan string // fingerprint of the last forwarded plan
+}
+
+// NewBatteryACNode builds the battery module's advanced controller: a node
+// that receives the current motion plan from the planner and simply forwards
+// it to the motion primitives (Section V-B).
+func NewBatteryACNode(name string, period time.Duration) (*node.Node, error) {
+	step := func(st node.State, in pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+		s, ok := st.(*batteryFwdState)
+		if !ok {
+			return nil, nil, fmt.Errorf("battery AC: bad state type %T", st)
+		}
+		p, havePlan := currentPlan(in)
+		if !havePlan {
+			return s, nil, nil
+		}
+		next := *s
+		fp := fingerprint(p)
+		if fp != s.lastPlan {
+			next.seq++
+			next.lastPlan = fp
+		}
+		out := ActivePlan{Waypoints: p.Clone(), Landing: false, Seq: next.seq}
+		return &next, pubsub.Valuation{TopicActivePlan: out}, nil
+	}
+	return node.New(
+		name,
+		period,
+		[]pubsub.TopicName{TopicPlan, TopicDroneState},
+		[]pubsub.TopicName{TopicActivePlan},
+		step,
+		node.WithInit(func() node.State { return &batteryFwdState{} }),
+	)
+}
+
+// landerState remembers the fixed touchdown point chosen when the lander
+// engaged, so the landing plan does not chase the drifting drone.
+type landerState struct {
+	engaged bool
+	site    geom.Vec3
+	seq     uint64
+	plan    []geom.Vec3
+}
+
+// descentProfile builds a stepped landing plan: hold position laterally and
+// descend in 0.6 m increments, so the (possibly aggressive) motion primitive
+// executing it never builds up a dangerous sink rate — part of what makes
+// the lander a certified safe controller.
+func descentProfile(from, site geom.Vec3) []geom.Vec3 {
+	wps := []geom.Vec3{from, geom.V(site.X, site.Y, from.Z)}
+	z := from.Z
+	for z-0.6 > site.Z {
+		z -= 0.6
+		wps = append(wps, geom.V(site.X, site.Y, z))
+	}
+	return append(wps, site)
+}
+
+// NewBatteryLanderNode builds the battery module's certified safe
+// controller: a planner that safely lands the drone from its current
+// position (Section V-B). It publishes a landing plan: descend in place to
+// the landing altitude.
+func NewBatteryLanderNode(name string, period time.Duration, landingZ float64) (*node.Node, error) {
+	if landingZ <= 0 {
+		return nil, fmt.Errorf("battery lander: landingZ must be positive")
+	}
+	step := func(st node.State, in pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+		s, ok := st.(*landerState)
+		if !ok {
+			return nil, nil, fmt.Errorf("battery lander: bad state type %T", st)
+		}
+		ds, haveState := droneState(in)
+		if !haveState {
+			return s, nil, nil
+		}
+		next := *s
+		if !next.engaged {
+			next.engaged = true
+			// Landing-plan sequence numbers live in their own range so they
+			// never collide with the AC's forwarded-plan sequence numbers.
+			next.seq = 1 << 62
+			next.site = geom.V(ds.Pos.X, ds.Pos.Y, landingZ)
+			next.plan = descentProfile(ds.Pos, next.site)
+		}
+		p := ActivePlan{
+			Waypoints: next.plan,
+			Landing:   true,
+			Seq:       next.seq,
+		}
+		return &next, pubsub.Valuation{TopicActivePlan: p}, nil
+	}
+	return node.New(
+		name,
+		period,
+		[]pubsub.TopicName{TopicDroneState},
+		[]pubsub.TopicName{TopicActivePlan},
+		step,
+		node.WithInit(func() node.State { return &landerState{} }),
+	)
+}
+
+// NewBatteryModule declares the battery-safety RTA module guaranteeing φbat
+// with the predicates of the battery monitor: ttf2Δ(bt) = bt − cost* < Tmax,
+// φsafer = bt > 85%, φsafe = bt > 0 (or landed).
+func NewBatteryModule(ac, sc *node.Node, mon *battery.Monitor) (*rta.Module, error) {
+	if mon == nil {
+		return nil, fmt.Errorf("battery module: nil monitor")
+	}
+	return rta.NewModule(rta.Decl{
+		Name:      "battery-safety",
+		AC:        ac,
+		SC:        sc,
+		Delta:     mon.Delta(),
+		Monitored: []pubsub.TopicName{TopicDroneState},
+		TTF2Delta: func(v pubsub.Valuation) bool {
+			ds, ok := droneState(v)
+			if !ok {
+				return true // unknown charge: fail safe
+			}
+			return mon.TTF2Delta(ds.Battery)
+		},
+		InSafer: func(v pubsub.Valuation) bool {
+			ds, ok := droneState(v)
+			if !ok {
+				return false
+			}
+			return mon.InSafer(ds.Battery)
+		},
+		Safe: func(v pubsub.Valuation) bool {
+			ds, ok := droneState(v)
+			if !ok {
+				return true
+			}
+			return mon.Safe(ds.Battery, ds.Landed)
+		},
+	})
+}
+
+// fingerprint cheaply summarises a waypoint list for change detection.
+func fingerprint(pts []geom.Vec3) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	return fmt.Sprintf("%d|%.2f,%.2f,%.2f|%.2f,%.2f,%.2f",
+		len(pts), first.X, first.Y, first.Z, last.X, last.Y, last.Z)
+}

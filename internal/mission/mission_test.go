@@ -1,0 +1,430 @@
+package mission
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/battery"
+	"repro/internal/geom"
+	"repro/internal/node"
+	"repro/internal/plan"
+	"repro/internal/plant"
+	"repro/internal/pubsub"
+	"repro/internal/rta"
+)
+
+func stepNode(t *testing.T, n *node.Node, st node.State, in pubsub.Valuation) (node.State, pubsub.Valuation) {
+	t.Helper()
+	next, out, err := n.Step(st, in)
+	if err != nil {
+		t.Fatalf("step %s: %v", n.Name(), err)
+	}
+	return next, out
+}
+
+func TestAppNodeAdvancesOnArrival(t *testing.T) {
+	pts := []geom.Vec3{geom.V(1, 1, 1), geom.V(9, 9, 1)}
+	app, err := NewAppNode(AppConfig{Points: pts, Tolerance: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := app.InitState()
+	// Far from the first target: it keeps publishing it.
+	st, out := stepNode(t, app, st, pubsub.Valuation{
+		TopicDroneState: plant.State{Pos: geom.V(5, 5, 1), Battery: 1},
+	})
+	if out[TopicMissionTarget].(geom.Vec3) != pts[0] {
+		t.Errorf("target = %v", out[TopicMissionTarget])
+	}
+	// Arrived: the next target is published and the visit counted.
+	st, out = stepNode(t, app, st, pubsub.Valuation{
+		TopicDroneState: plant.State{Pos: pts[0], Battery: 1},
+	})
+	if out[TopicMissionTarget].(geom.Vec3) != pts[1] {
+		t.Errorf("target after arrival = %v", out[TopicMissionTarget])
+	}
+	if v, ok := VisitsOf(st); !ok || v != 1 {
+		t.Errorf("visits = %v %v", v, ok)
+	}
+	// The tour wraps around.
+	st, out = stepNode(t, app, st, pubsub.Valuation{
+		TopicDroneState: plant.State{Pos: pts[1], Battery: 1},
+	})
+	if out[TopicMissionTarget].(geom.Vec3) != pts[0] {
+		t.Errorf("target after wrap = %v", out[TopicMissionTarget])
+	}
+	_ = st
+}
+
+func TestAppNodeRandomTargets(t *testing.T) {
+	ws := geom.CityWorkspace()
+	app, err := NewAppNode(AppConfig{Random: true, Workspace: ws, Margin: 0.45, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := app.InitState()
+	st, out := stepNode(t, app, st, pubsub.Valuation{
+		TopicDroneState: plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+	})
+	target, ok := out[TopicMissionTarget].(geom.Vec3)
+	if !ok {
+		t.Fatalf("no target published: %v", out)
+	}
+	if !ws.FreeWithMargin(target, 0.45) {
+		t.Errorf("random target %v is not free", target)
+	}
+	// Arriving at the random target draws a fresh one.
+	_, out2 := stepNode(t, app, st, pubsub.Valuation{
+		TopicDroneState: plant.State{Pos: target, Battery: 1},
+	})
+	if out2[TopicMissionTarget].(geom.Vec3) == target {
+		t.Error("random target did not advance on arrival")
+	}
+}
+
+func TestAppNodeValidation(t *testing.T) {
+	if _, err := NewAppNode(AppConfig{}); err == nil {
+		t.Error("app without points or Random accepted")
+	}
+	if _, err := NewAppNode(AppConfig{Random: true}); err == nil {
+		t.Error("random app without workspace accepted")
+	}
+}
+
+func TestWaypointManagerWalksPlan(t *testing.T) {
+	wpm, err := NewWaypointManagerNode("wpm", 20*time.Millisecond, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planVal := ActivePlan{
+		Waypoints: plan.Plan{geom.V(0, 0, 1), geom.V(5, 0, 1), geom.V(5, 5, 1)},
+		Seq:       1,
+	}
+	st := wpm.InitState()
+	st, out := stepNode(t, wpm, st, pubsub.Valuation{
+		TopicActivePlan: planVal,
+		TopicDroneState: plant.State{Pos: geom.V(0, 0, 1), Battery: 1},
+	})
+	wp := out[TopicWaypoint].(Waypoint)
+	if !wp.Valid || wp.Target != geom.V(5, 0, 1) {
+		t.Errorf("first waypoint = %+v", wp)
+	}
+	// Arrive at wp1: the manager advances to wp2 with the segment start at
+	// the previous waypoint.
+	st, out = stepNode(t, wpm, st, pubsub.Valuation{
+		TopicActivePlan: planVal,
+		TopicDroneState: plant.State{Pos: geom.V(4.5, 0, 1), Battery: 1},
+	})
+	wp = out[TopicWaypoint].(Waypoint)
+	if wp.Target != geom.V(5, 5, 1) || wp.From != geom.V(5, 0, 1) {
+		t.Errorf("advanced waypoint = %+v", wp)
+	}
+	// A replaced plan (new Seq) resets progress.
+	newPlan := ActivePlan{
+		Waypoints: plan.Plan{geom.V(4.5, 0, 1), geom.V(0, 5, 1)},
+		Seq:       2,
+		Landing:   true,
+	}
+	_, out = stepNode(t, wpm, st, pubsub.Valuation{
+		TopicActivePlan: newPlan,
+		TopicDroneState: plant.State{Pos: geom.V(4.5, 0, 1), Battery: 1},
+	})
+	wp = out[TopicWaypoint].(Waypoint)
+	if wp.Target != geom.V(0, 5, 1) || !wp.Land {
+		t.Errorf("waypoint after plan swap = %+v", wp)
+	}
+}
+
+func TestWaypointManagerInvalidUntilPlan(t *testing.T) {
+	wpm, err := NewWaypointManagerNode("wpm", 20*time.Millisecond, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out := stepNode(t, wpm, wpm.InitState(), pubsub.Valuation{
+		TopicActivePlan: nil,
+		TopicDroneState: plant.State{Pos: geom.V(0, 0, 1), Battery: 1},
+	})
+	if wp := out[TopicWaypoint].(Waypoint); wp.Valid {
+		t.Errorf("waypoint valid without a plan: %+v", wp)
+	}
+}
+
+func TestPlannerNodeCachesUntilTargetMoves(t *testing.T) {
+	ws := geom.CityWorkspace()
+	astar, err := plan.NewAStar(ws, 1.0, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counting := &countingPlanner{inner: astar}
+	pn, err := NewPlannerNode(PlannerConfig{Name: "p", Planner: counting, Period: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pn.InitState()
+	in := pubsub.Valuation{
+		TopicDroneState:    plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+		TopicMissionTarget: geom.V(46, 46, 2),
+	}
+	st, out := stepNode(t, pn, st, in)
+	if _, ok := out[TopicPlan].(plan.Plan); !ok {
+		t.Fatalf("no plan published: %v", out)
+	}
+	if counting.calls != 1 {
+		t.Fatalf("planner calls = %d", counting.calls)
+	}
+	// Same target: republish the cached plan, no replanning.
+	st, _ = stepNode(t, pn, st, in)
+	if counting.calls != 1 {
+		t.Errorf("planner replanned without target change: %d", counting.calls)
+	}
+	// Moved target: replan.
+	in[TopicMissionTarget] = geom.V(3, 46, 2)
+	_, _ = stepNode(t, pn, st, in)
+	if counting.calls != 2 {
+		t.Errorf("planner did not replan on target change: %d", counting.calls)
+	}
+}
+
+type countingPlanner struct {
+	inner plan.Planner
+	calls int
+}
+
+func (c *countingPlanner) Plan(start, goal geom.Vec3) (plan.Plan, error) {
+	c.calls++
+	return c.inner.Plan(start, goal)
+}
+
+func TestPlannerModulePredicates(t *testing.T) {
+	ws := geom.CityWorkspace()
+	acN, scN := plannerPair(t, ws)
+	mod, err := NewPlannerModule(PlannerModuleConfig{
+		AC: acN, SC: scN,
+		Delta:     500 * time.Millisecond,
+		Workspace: ws,
+		Margin:    0.45,
+		MaxVel:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A plan cutting straight through a house, with the drone right at the
+	// unsafe segment: ttf fires, φsafer does not hold.
+	badPlan := plan.Plan{geom.V(3, 3, 2), geom.V(20, 20, 2)}
+	val := pubsub.Valuation{
+		TopicPlan:          badPlan,
+		TopicDroneState:    plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+		TopicMissionTarget: geom.V(20, 20, 2),
+	}
+	if !mod.TTF2Delta(val) {
+		t.Error("ttf must fire on an imminent unsafe segment")
+	}
+	if mod.InSafer(val) {
+		t.Error("φsafer must not hold with a colliding plan")
+	}
+	// The same bad plan far from the drone: not yet urgent, φsafe holds.
+	valFar := pubsub.Valuation{
+		TopicPlan:          plan.Plan{geom.V(40, 3, 2), geom.V(20, 20, 2)},
+		TopicDroneState:    plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+		TopicMissionTarget: geom.V(20, 20, 2),
+	}
+	if mod.TTF2Delta(valFar) {
+		t.Error("a distant plan defect should not trip the 2Δ check")
+	}
+	if !mod.SafeHolds(valFar) {
+		t.Error("φplan should hold while the defect is far away")
+	}
+	// A clean plan: φsafer holds.
+	goodVal := pubsub.Valuation{
+		TopicPlan:          plan.Plan{geom.V(3, 3, 2), geom.V(3, 46, 2)},
+		TopicDroneState:    plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+		TopicMissionTarget: geom.V(3, 46, 2),
+	}
+	if !mod.InSafer(goodVal) {
+		t.Error("φsafer must hold with a clean plan")
+	}
+}
+
+func plannerPair(t *testing.T, ws *geom.Workspace) (ac, sc *node.Node) {
+	t.Helper()
+	astar, err := plan.NewAStar(ws, 1.0, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acN, err := NewPlannerNode(PlannerConfig{Name: "planner.ac", Planner: astar, Period: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scN, err := NewPlannerNode(PlannerConfig{Name: "planner.sc", Planner: astar, Period: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acN, scN
+}
+
+func TestBatteryNodes(t *testing.T) {
+	acB, err := NewBatteryACNode("bac", 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plan.Plan{geom.V(0, 0, 2), geom.V(5, 5, 2)}
+	st := acB.InitState()
+	st, out := stepNode(t, acB, st, pubsub.Valuation{
+		TopicPlan:       p,
+		TopicDroneState: plant.State{Pos: geom.V(0, 0, 2), Battery: 1},
+	})
+	ap := out[TopicActivePlan].(ActivePlan)
+	if ap.Landing || len(ap.Waypoints) != 2 || ap.Seq != 1 {
+		t.Errorf("forwarded plan = %+v", ap)
+	}
+	// The same plan keeps its sequence number; a new plan bumps it.
+	st, out = stepNode(t, acB, st, pubsub.Valuation{
+		TopicPlan:       p,
+		TopicDroneState: plant.State{Pos: geom.V(0, 0, 2), Battery: 1},
+	})
+	if out[TopicActivePlan].(ActivePlan).Seq != 1 {
+		t.Error("unchanged plan bumped Seq")
+	}
+	_, out = stepNode(t, acB, st, pubsub.Valuation{
+		TopicPlan:       plan.Plan{geom.V(0, 0, 2), geom.V(9, 9, 2)},
+		TopicDroneState: plant.State{Pos: geom.V(0, 0, 2), Battery: 1},
+	})
+	if out[TopicActivePlan].(ActivePlan).Seq != 2 {
+		t.Error("new plan did not bump Seq")
+	}
+
+	lander, err := NewBatteryLanderNode("bsc", 200*time.Millisecond, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst := lander.InitState()
+	lst, out = stepNode(t, lander, lst, pubsub.Valuation{
+		TopicDroneState: plant.State{Pos: geom.V(7, 8, 3.2), Battery: 0.2},
+	})
+	land := out[TopicActivePlan].(ActivePlan)
+	if !land.Landing {
+		t.Error("lander plan not marked Landing")
+	}
+	last := land.Waypoints[len(land.Waypoints)-1]
+	if last != geom.V(7, 8, 0.5) {
+		t.Errorf("touchdown waypoint = %v", last)
+	}
+	// The descent profile steps down without big jumps.
+	for i := 1; i < len(land.Waypoints); i++ {
+		dz := land.Waypoints[i-1].Z - land.Waypoints[i].Z
+		if dz > 0.6+1e-9 || dz < -1e-9 {
+			t.Errorf("descent step %d = %v", i, dz)
+		}
+	}
+	// The touchdown site is pinned even if the drone drifts.
+	_, out = stepNode(t, lander, lst, pubsub.Valuation{
+		TopicDroneState: plant.State{Pos: geom.V(9, 9, 3), Battery: 0.2},
+	})
+	land2 := out[TopicActivePlan].(ActivePlan)
+	if land2.Waypoints[len(land2.Waypoints)-1] != geom.V(7, 8, 0.5) {
+		t.Error("touchdown site drifted")
+	}
+	if land2.Seq != land.Seq {
+		t.Error("landing plan sequence changed")
+	}
+}
+
+func TestBatteryModulePredicates(t *testing.T) {
+	mon, err := battery.NewMonitor(battery.Config{
+		Params: plant.DefaultParams(), Delta: 2 * time.Second, MaxHeight: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acB, _ := NewBatteryACNode("bac", 200*time.Millisecond)
+	scB, _ := NewBatteryLanderNode("bsc", 200*time.Millisecond, 0.5)
+	mod, err := NewBatteryModule(acB, scB, mon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := pubsub.Valuation{TopicDroneState: plant.State{Battery: 0.01}}
+	high := pubsub.Valuation{TopicDroneState: plant.State{Battery: 0.95}}
+	if mod.Decide(rta.ModeAC, low) != rta.ModeSC {
+		t.Error("low battery must disengage")
+	}
+	if mod.Decide(rta.ModeAC, high) != rta.ModeAC {
+		t.Error("high battery must keep AC")
+	}
+	if mod.Decide(rta.ModeSC, high) != rta.ModeAC {
+		t.Error("recharged battery must re-engage")
+	}
+	// Missing state fails safe.
+	empty := pubsub.Valuation{TopicDroneState: nil}
+	if mod.Decide(rta.ModeAC, empty) != rta.ModeSC {
+		t.Error("missing state must fail safe to SC")
+	}
+}
+
+func TestBuildStackShapes(t *testing.T) {
+	base := DefaultStackConfig(1)
+	base.App = AppConfig{Points: []geom.Vec3{geom.V(3, 3, 2)}}
+
+	t.Run("full stack", func(t *testing.T) {
+		st, err := Build(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.PrimitiveModule == nil || st.PlannerModule == nil || st.BatteryModule == nil {
+			t.Error("full stack missing modules")
+		}
+		if got := len(st.System.Modules()); got != 3 {
+			t.Errorf("modules = %d, want 3", got)
+		}
+	})
+	t.Run("motion only", func(t *testing.T) {
+		cfg := base
+		cfg.WithPlannerModule = false
+		cfg.WithBatteryModule = false
+		st, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(st.System.Modules()) != 1 || st.PrimitiveModule == nil {
+			t.Error("motion-only stack wrong")
+		}
+	})
+	t.Run("ac only baseline", func(t *testing.T) {
+		cfg := base
+		cfg.Protection = ProtectACOnly
+		st, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.PrimitiveModule != nil {
+			t.Error("AC-only baseline must not have a primitive module")
+		}
+	})
+}
+
+func TestStackCertificates(t *testing.T) {
+	cfg := DefaultStackConfig(2)
+	cfg.App = AppConfig{Points: []geom.Vec3{geom.V(3, 3, 2)}}
+	st, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	certs, err := st.Certificates(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(certs) != 3 {
+		t.Fatalf("certificates = %d, want 3", len(certs))
+	}
+	// Theorem 4.1: every module in the composed stack discharges its
+	// obligations, hence the system satisfies φplan ∧ φmpr ∧ φbat.
+	if err := st.System.VerifyAll(certs); err != nil {
+		t.Errorf("VerifyAll: %v", err)
+	}
+}
+
+func TestProtectionModeString(t *testing.T) {
+	if ProtectRTA.String() != "rta" || ProtectACOnly.String() != "ac-only" ||
+		ProtectSCOnly.String() != "sc-only" || ProtectionMode(9).String() == "" {
+		t.Error("ProtectionMode.String wrong")
+	}
+}

@@ -1,0 +1,189 @@
+package mission
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/node"
+	"repro/internal/pubsub"
+	"repro/internal/reach"
+	"repro/internal/rta"
+)
+
+// wpState is the waypoint manager's local state: the active plan and the
+// index of the waypoint currently being tracked.
+type wpState struct {
+	seq     uint64
+	landing bool
+	plan    ActivePlan
+	idx     int
+}
+
+// NewWaypointManagerNode builds the trusted glue node that walks the active
+// plan: it publishes the current reference segment (previous waypoint →
+// current waypoint) and advances when the drone arrives. It resets to the
+// first waypoint whenever the active plan is replaced.
+func NewWaypointManagerNode(name string, period time.Duration, tolerance float64) (*node.Node, error) {
+	if tolerance <= 0 {
+		tolerance = 0.8
+	}
+	step := func(st node.State, in pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+		s, ok := st.(*wpState)
+		if !ok {
+			return nil, nil, fmt.Errorf("waypoint manager: bad state type %T", st)
+		}
+		ap, havePlan := activePlan(in)
+		ds, haveState := droneState(in)
+		if !havePlan || !haveState {
+			return s, pubsub.Valuation{TopicWaypoint: Waypoint{}}, nil
+		}
+		next := *s
+		if ap.Seq != s.seq || len(s.plan.Waypoints) == 0 {
+			next.seq = ap.Seq
+			next.landing = ap.Landing
+			next.plan = ap
+			next.idx = 0
+			if len(ap.Waypoints) > 1 {
+				next.idx = 1 // waypoint 0 is the start position
+			}
+		}
+		wps := next.plan.Waypoints
+		for next.idx < len(wps)-1 && ds.Pos.Dist(wps[next.idx]) <= tolerance {
+			next.idx++
+		}
+		from := wps[0]
+		if next.idx > 0 {
+			from = wps[next.idx-1]
+		}
+		out := Waypoint{
+			From:   from,
+			Target: wps[next.idx],
+			Land:   next.landing,
+			Valid:  true,
+		}
+		return &next, pubsub.Valuation{TopicWaypoint: out}, nil
+	}
+	return node.New(
+		name,
+		period,
+		[]pubsub.TopicName{TopicActivePlan, TopicDroneState},
+		[]pubsub.TopicName{TopicWaypoint},
+		step,
+		node.WithInit(func() node.State { return &wpState{} }),
+	)
+}
+
+// NewPrimitiveNode wraps a controller as a motion-primitive node: it
+// subscribes to the drone state and current waypoint and publishes the
+// commanded acceleration, like the MotionPrimitive node of Figure 4.
+func NewPrimitiveNode(name string, period time.Duration, ctrl controller.Controller) (*node.Node, error) {
+	if ctrl == nil {
+		return nil, fmt.Errorf("primitive node %q: nil controller", name)
+	}
+	// The node's local state is its own clock, advanced by one period per
+	// firing; controllers use it for time-dependent behaviour (faults).
+	step := func(st node.State, in pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+		t, _ := st.(time.Duration)
+		nextT := t + period
+		ds, haveState := droneState(in)
+		wp, haveWP := waypoint(in)
+		if !haveState || ds.Landed {
+			return nextT, nil, nil
+		}
+		target := ds.Pos // hold position until a waypoint arrives
+		if haveWP {
+			target = wp.Target
+		}
+		u := ctrl.Control(t, ds.Pos, ds.Vel, target)
+		return nextT, pubsub.Valuation{TopicCmd: u}, nil
+	}
+	return node.New(
+		name,
+		period,
+		[]pubsub.TopicName{TopicDroneState, TopicWaypoint},
+		[]pubsub.TopicName{TopicCmd},
+		step,
+		node.WithInit(func() node.State { return time.Duration(0) }),
+	)
+}
+
+// NewPrimitiveModule declares the RTA-protected motion-primitive module of
+// Section V-A, guaranteeing φmpr via the analyzer's reachability predicates:
+// ttf2Δ = ¬(StopBox(s, 2Δ) free), φsafer = StopBox(s, h) free for the
+// hysteresis horizon h ≥ 2Δ, φsafe = BrakeBox(s) free.
+//
+// Two analyzers parameterise the predicates: the strict one geo-fences the
+// floor as well as the obstacles; the landing one protects obstacles only.
+// While the active waypoint is a landing waypoint (the battery module's
+// certified lander is descending on purpose), the landing analyzer is used —
+// the paper's φobs concerns obstacles, and ground contact during landing is
+// owned by the battery-safety argument. landing may be nil to always
+// enforce the strict fence.
+//
+// With oneWay set the module never returns control to the AC after a switch
+// — the classic Simplex behaviour the paper's two-way switching improves on
+// (used by the ablation benchmark).
+func NewPrimitiveModule(ac, sc *node.Node, strict, landing *reach.Analyzer, oneWay bool) (*rta.Module, error) {
+	if strict == nil {
+		return nil, fmt.Errorf("primitive module: nil analyzer")
+	}
+	if landing == nil {
+		landing = strict
+	}
+	pick := func(v pubsub.Valuation) *reach.Analyzer {
+		if wp, ok := waypoint(v); ok && wp.Land {
+			return landing
+		}
+		return strict
+	}
+	// One-way latch: classic Simplex engages the AC once at startup and,
+	// after the first disengagement, stays on the SC forever. The latch is
+	// deliberate mutable state inside the predicates — acceptable for this
+	// ablation baseline, which is only exercised by the simulator.
+	var disengaged bool
+	return rta.NewModule(rta.Decl{
+		Name:      "safe-motion-primitive",
+		AC:        ac,
+		SC:        sc,
+		Delta:     strict.Delta(),
+		Monitored: []pubsub.TopicName{TopicDroneState, TopicWaypoint},
+		TTF2Delta: func(v pubsub.Valuation) bool {
+			ds, ok := droneState(v)
+			if !ok {
+				return true // no state estimate: fail safe
+			}
+			if ds.Landed {
+				return false
+			}
+			trip := pick(v).TTF2Delta(ds.Pos, ds.Vel)
+			if trip && oneWay {
+				disengaged = true
+			}
+			return trip
+		},
+		InSafer: func(v pubsub.Valuation) bool {
+			if oneWay && disengaged {
+				return false // classic Simplex: no SC→AC return
+			}
+			ds, ok := droneState(v)
+			if !ok {
+				return false
+			}
+			if ds.Landed {
+				return true
+			}
+			return pick(v).InSafer(ds.Pos, ds.Vel)
+		},
+		Safe: func(v pubsub.Valuation) bool {
+			ds, ok := droneState(v)
+			if !ok {
+				return true
+			}
+			if ds.Landed {
+				return true
+			}
+			return pick(v).Safe(ds.Pos, ds.Vel)
+		},
+	})
+}

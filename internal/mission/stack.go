@@ -1,0 +1,490 @@
+package mission
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/battery"
+	"repro/internal/controller"
+	"repro/internal/geom"
+	"repro/internal/node"
+	"repro/internal/plan"
+	"repro/internal/plant"
+	"repro/internal/reach"
+	"repro/internal/rta"
+)
+
+// ProtectionMode selects how the motion-primitive layer is deployed — the
+// three configurations compared by the Figure 12a timing experiment.
+type ProtectionMode int
+
+// Protection modes.
+const (
+	// ProtectRTA wraps the untrusted AC in an RTA module (the SOTER stack).
+	ProtectRTA ProtectionMode = iota + 1
+	// ProtectACOnly runs the untrusted AC alone (fast, can collide).
+	ProtectACOnly
+	// ProtectSCOnly runs the certified SC alone (safe, slow).
+	ProtectSCOnly
+)
+
+// String implements fmt.Stringer.
+func (m ProtectionMode) String() string {
+	switch m {
+	case ProtectRTA:
+		return "rta"
+	case ProtectACOnly:
+		return "ac-only"
+	case ProtectSCOnly:
+		return "sc-only"
+	default:
+		return fmt.Sprintf("ProtectionMode(%d)", int(m))
+	}
+}
+
+// ACKind selects the untrusted advanced motion primitive.
+type ACKind int
+
+// Advanced-controller kinds.
+const (
+	// ACAggressive is the PX4-like time-optimised primitive (Figure 5 right).
+	ACAggressive ACKind = iota + 1
+	// ACLearned is the data-driven primitive (Figure 5 left).
+	ACLearned
+)
+
+// StackConfig configures the full RTA-protected surveillance stack of
+// Figure 8 (or its unprotected baselines).
+type StackConfig struct {
+	// Workspace is the obstacle map; defaults to geom.CityWorkspace().
+	Workspace *geom.Workspace
+	// PlantParams are the drone's physical parameters.
+	PlantParams plant.Params
+	// Margin is the drone bounding radius used in all clearance checks.
+	Margin float64
+	// PlanMargin is the clearance planners aim for; zero defaults to
+	// Margin + 0.8 so reference paths stay out of the DM's switching band.
+	// Workloads whose waypoints intentionally hug obstacles set it lower.
+	PlanMargin float64
+	// MotionDelta is Δ of the motion-primitive module.
+	MotionDelta time.Duration
+	// Hysteresis scales the φsafer horizon (Remark 3.3 trade-off).
+	Hysteresis float64
+	// PrimitivePeriod is the period of the AC/SC motion-primitive nodes.
+	PrimitivePeriod time.Duration
+	// Protection selects RTA / AC-only / SC-only for the motion layer.
+	Protection ProtectionMode
+	// AC selects the untrusted motion primitive; ACFaults optionally
+	// injects faults into it.
+	AC       ACKind
+	ACFaults []controller.Fault
+	// LearnedBadFraction is the corrupted-cell fraction for ACLearned.
+	LearnedBadFraction float64
+	// WithPlannerModule enables the RTA-protected planner (Section V-C);
+	// PlannerBug selects the defect injected into the RRT* AC planner.
+	WithPlannerModule bool
+	PlannerBug        plan.Bug
+	PlannerBugRate    float64
+	PlannerDelta      time.Duration
+	// WithBatteryModule enables the battery-safety module (Section V-B).
+	WithBatteryModule bool
+	BatteryDelta      time.Duration
+	// OneWaySwitching disables the SC→AC return of the motion module — the
+	// classic Simplex baseline for the switching ablation.
+	OneWaySwitching bool
+	// App configures the surveillance application; its Workspace, Margin
+	// and Seed fields are filled in from this config when zero.
+	App AppConfig
+	// Seed drives every stochastic component.
+	Seed int64
+}
+
+// DefaultStackConfig returns the configuration used throughout the
+// evaluation, mirroring the paper's setup.
+func DefaultStackConfig(seed int64) StackConfig {
+	return StackConfig{
+		PlantParams:        plant.DefaultParams(),
+		Margin:             0.45,
+		MotionDelta:        100 * time.Millisecond,
+		Hysteresis:         2.0,
+		PrimitivePeriod:    20 * time.Millisecond,
+		Protection:         ProtectRTA,
+		AC:                 ACAggressive,
+		LearnedBadFraction: 0.12,
+		WithPlannerModule:  true,
+		PlannerDelta:       500 * time.Millisecond,
+		WithBatteryModule:  true,
+		BatteryDelta:       2 * time.Second,
+		Seed:               seed,
+	}
+}
+
+// Stack is the assembled system plus the handles the simulator and
+// benchmarks need.
+type Stack struct {
+	System   *rta.System
+	Analyzer *reach.Analyzer
+	Monitor  *battery.Monitor // nil without the battery module
+	// Modules by role (nil when the role is unprotected/absent).
+	PrimitiveModule *rta.Module
+	PlannerModule   *rta.Module
+	BatteryModule   *rta.Module
+	// AppNode gives metrics access to the surveillance progress.
+	AppNode *node.Node
+	// Config echoes the (defaulted) configuration.
+	Config StackConfig
+}
+
+// AnalysisWorkspace derives the workspace used by the motion-primitive
+// safety analysis from the physical one: identical obstacles, but the floor
+// is lowered slightly. The ground is landable — touchdown happens at the
+// GroundZ altitude, above the geo-fenced band — so the motion module's
+// floor margin must sit below the touchdown altitude, while still switching
+// to SC before any dive can reach the actual ground. Side and top bounds are
+// enforced unchanged.
+func AnalysisWorkspace(ws *geom.Workspace) (*geom.Workspace, error) {
+	b := ws.Bounds()
+	b.Min.Z -= 0.25
+	return geom.NewWorkspace(b, ws.Obstacles())
+}
+
+// LandingWorkspace derives the workspace used by the motion module while a
+// landing plan is active: obstacles and side/top bounds are protected, but
+// the floor is lowered out of reach so the certified lander's intentional
+// descent is not fenced off. Ground contact during landing is owned by the
+// battery-safety argument and the touchdown logic.
+func LandingWorkspace(ws *geom.Workspace) (*geom.Workspace, error) {
+	b := ws.Bounds()
+	b.Min.Z -= 8
+	return geom.NewWorkspace(b, ws.Obstacles())
+}
+
+// Build assembles the stack.
+func Build(cfg StackConfig) (*Stack, error) {
+	if cfg.Workspace == nil {
+		cfg.Workspace = geom.CityWorkspace()
+	}
+	if cfg.Margin <= 0 {
+		cfg.Margin = 0.45
+	}
+	if cfg.MotionDelta <= 0 {
+		cfg.MotionDelta = 100 * time.Millisecond
+	}
+	if cfg.Hysteresis < 1 {
+		cfg.Hysteresis = 2.0
+	}
+	if cfg.PrimitivePeriod <= 0 {
+		cfg.PrimitivePeriod = 20 * time.Millisecond
+	}
+	if cfg.Protection == 0 {
+		cfg.Protection = ProtectRTA
+	}
+	if cfg.AC == 0 {
+		cfg.AC = ACAggressive
+	}
+	if err := cfg.PlantParams.Validate(); err != nil {
+		return nil, fmt.Errorf("stack: %w", err)
+	}
+
+	limits := controller.Limits{
+		MaxAccel: cfg.PlantParams.MaxAccel,
+		MaxVel:   cfg.PlantParams.MaxVel,
+	}
+	bounds := reach.Bounds{
+		MaxAccel: cfg.PlantParams.MaxAccel,
+		MaxVel:   cfg.PlantParams.MaxVel,
+		// The lagged plant achieves at least 80% of MaxAccel within a small
+		// fraction of a braking maneuver; see plant.Params.LagTau.
+		BrakeDecel: 0.8 * cfg.PlantParams.MaxAccel,
+	}
+	aws, err := AnalysisWorkspace(cfg.Workspace)
+	if err != nil {
+		return nil, fmt.Errorf("stack: analysis workspace: %w", err)
+	}
+	analyzer, err := reach.NewAnalyzer(aws, bounds, cfg.Margin, cfg.MotionDelta, cfg.Hysteresis)
+	if err != nil {
+		return nil, fmt.Errorf("stack: analyzer: %w", err)
+	}
+	lws, err := LandingWorkspace(cfg.Workspace)
+	if err != nil {
+		return nil, fmt.Errorf("stack: landing workspace: %w", err)
+	}
+	landingAnalyzer, err := reach.NewAnalyzer(lws, bounds, cfg.Margin, cfg.MotionDelta, cfg.Hysteresis)
+	if err != nil {
+		return nil, fmt.Errorf("stack: landing analyzer: %w", err)
+	}
+
+	st := &Stack{Analyzer: analyzer, Config: cfg}
+	var modules []*rta.Module
+	var plain []*node.Node
+
+	// --- Application layer -------------------------------------------------
+	app := cfg.App
+	if app.Workspace == nil {
+		app.Workspace = cfg.Workspace
+	}
+	if app.Margin == 0 {
+		app.Margin = cfg.Margin
+	}
+	if app.Seed == 0 {
+		app.Seed = cfg.Seed
+	}
+	appNode, err := NewAppNode(app)
+	if err != nil {
+		return nil, fmt.Errorf("stack: %w", err)
+	}
+	st.AppNode = appNode
+	plain = append(plain, appNode)
+
+	// --- Motion planner layer ----------------------------------------------
+	// Planners aim for more clearance than the safety margin: a reference
+	// path that hugs obstacles at exactly the margin keeps the drone inside
+	// the DM's switching band, forcing needless disengagements. The safety
+	// checks (module predicates, φplan validation) still use cfg.Margin.
+	planMargin := cfg.PlanMargin
+	if planMargin <= 0 {
+		planMargin = cfg.Margin + 0.8
+	}
+	rrt, err := plan.NewRRTStar(cfg.Workspace, rrtConfig(cfg, planMargin))
+	if err != nil {
+		return nil, fmt.Errorf("stack: %w", err)
+	}
+	astar, err := plan.NewAStar(cfg.Workspace, 1.0, planMargin)
+	if err != nil {
+		return nil, fmt.Errorf("stack: %w", err)
+	}
+	if cfg.WithPlannerModule {
+		acPlanner, err := NewPlannerNode(PlannerConfig{
+			Name:    "planner.ac",
+			Planner: rrt,
+			Period:  cfg.PlannerDelta,
+			// The untrusted planner redraws every period so a defective
+			// plan is transient rather than cached forever.
+			AlwaysReplan: cfg.PlannerBug != plan.BugNone,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		scPlanner, err := NewPlannerNode(PlannerConfig{Name: "planner.sc", Planner: astar, Period: cfg.PlannerDelta})
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		pm, err := NewPlannerModule(PlannerModuleConfig{
+			AC:        acPlanner,
+			SC:        scPlanner,
+			Delta:     cfg.PlannerDelta,
+			Workspace: cfg.Workspace,
+			Margin:    cfg.Margin,
+			MaxVel:    cfg.PlantParams.MaxVel,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		st.PlannerModule = pm
+		modules = append(modules, pm)
+	} else {
+		// Unprotected: the certified planner runs alone (keeps baselines
+		// focused on the motion layer).
+		p, err := NewPlannerNode(PlannerConfig{Name: "planner", Planner: astar, Period: plannerPeriod(cfg)})
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		plain = append(plain, p)
+	}
+
+	// --- Battery layer ------------------------------------------------------
+	if cfg.WithBatteryModule {
+		if cfg.BatteryDelta <= 0 {
+			cfg.BatteryDelta = 2 * time.Second
+		}
+		mon, err := battery.NewMonitor(battery.Config{
+			Params:    cfg.PlantParams,
+			Delta:     cfg.BatteryDelta,
+			MaxHeight: cfg.Workspace.Bounds().Max.Z,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		st.Monitor = mon
+		acB, err := NewBatteryACNode("battery.ac", 200*time.Millisecond)
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		scB, err := NewBatteryLanderNode("battery.sc", 200*time.Millisecond, 0.5)
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		bm, err := NewBatteryModule(acB, scB, mon)
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		st.BatteryModule = bm
+		modules = append(modules, bm)
+	} else {
+		fwd, err := NewBatteryACNode("planfwd", 200*time.Millisecond)
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		plain = append(plain, fwd)
+	}
+
+	// --- Waypoint manager ----------------------------------------------------
+	wpm, err := NewWaypointManagerNode("wpmanager", cfg.PrimitivePeriod, 0.8)
+	if err != nil {
+		return nil, fmt.Errorf("stack: %w", err)
+	}
+	plain = append(plain, wpm)
+
+	// --- Motion primitive layer ----------------------------------------------
+	ac := buildAC(cfg, limits)
+	sc := controller.NewSafe(analyzer, limits, cfg.PrimitivePeriod)
+	switch cfg.Protection {
+	case ProtectRTA:
+		acNode, err := NewPrimitiveNode("mpr.ac", cfg.PrimitivePeriod, ac)
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		scNode, err := NewPrimitiveNode("mpr.sc", cfg.PrimitivePeriod, sc)
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		pm, err := NewPrimitiveModule(acNode, scNode, analyzer, landingAnalyzer, cfg.OneWaySwitching)
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		st.PrimitiveModule = pm
+		modules = append(modules, pm)
+	case ProtectACOnly:
+		n, err := NewPrimitiveNode("mpr", cfg.PrimitivePeriod, ac)
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		plain = append(plain, n)
+	case ProtectSCOnly:
+		n, err := NewPrimitiveNode("mpr", cfg.PrimitivePeriod, sc)
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		plain = append(plain, n)
+	default:
+		return nil, fmt.Errorf("stack: unknown protection mode %v", cfg.Protection)
+	}
+
+	sys, err := rta.NewSystem(modules, plain)
+	if err != nil {
+		return nil, fmt.Errorf("stack: %w", err)
+	}
+	st.System = sys
+	return st, nil
+}
+
+// buildAC constructs the configured untrusted advanced controller, with
+// fault injection when requested.
+func buildAC(cfg StackConfig, limits controller.Limits) controller.Controller {
+	var ac controller.Controller
+	switch cfg.AC {
+	case ACLearned:
+		ac = controller.NewLearned(limits, cfg.LearnedBadFraction, cfg.Seed)
+	default:
+		ac = controller.NewAggressive(limits)
+	}
+	if len(cfg.ACFaults) > 0 {
+		ac = controller.WithFaults(ac, limits, cfg.ACFaults)
+	}
+	return ac
+}
+
+func rrtConfig(cfg StackConfig, planMargin float64) plan.RRTStarConfig {
+	r := plan.DefaultRRTStarConfig(cfg.Seed)
+	r.Margin = planMargin
+	r.Bug = cfg.PlannerBug
+	r.BugRate = cfg.PlannerBugRate
+	if r.BugRate == 0 && cfg.PlannerBug == plan.BugSkipEdgeCheck {
+		r.BugRate = 0.3
+	}
+	return r
+}
+
+func plannerPeriod(cfg StackConfig) time.Duration {
+	if cfg.PlannerDelta > 0 {
+		return cfg.PlannerDelta
+	}
+	return 500 * time.Millisecond
+}
+
+// Certificates builds the per-module certificates discharging (P2a), (P2b),
+// (P3) for every module in the stack, keyed by module name — the input to
+// rta.System.VerifyAll.
+func (st *Stack) Certificates(samples int) (map[string]rta.Certificate, error) {
+	certs := make(map[string]rta.Certificate)
+	if st.PrimitiveModule != nil {
+		limits := controller.Limits{
+			MaxAccel: st.Config.PlantParams.MaxAccel,
+			MaxVel:   st.Config.PlantParams.MaxVel,
+		}
+		sc := controller.NewSafe(st.Analyzer, limits, st.Config.PrimitivePeriod)
+		cert, err := reach.NewCertificate(reach.CertConfig{
+			Analyzer: st.Analyzer,
+			SCStep:   sc.ClosedLoopStep(),
+			SCPeriod: st.Config.PrimitivePeriod,
+			Samples:  samples,
+			Seed:     st.Config.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("primitive certificate: %w", err)
+		}
+		certs[st.PrimitiveModule.Name()] = cert
+	}
+	if st.BatteryModule != nil {
+		certs[st.BatteryModule.Name()] = batteryCertificate(st.Monitor)
+	}
+	if st.PlannerModule != nil {
+		certs[st.PlannerModule.Name()] = plannerCertificate(st.Config)
+	}
+	return certs, nil
+}
+
+// batteryCertificate discharges the battery module's obligations with
+// closed-form arguments over the discharge model.
+func batteryCertificate(mon *battery.Monitor) rta.Certificate {
+	return reach.StaticCertificate{
+		// (P2a): under the landing SC, charge only decreases by at most
+		// Tmax before touchdown; the switch fired while bt ≥ Tmax + cost*,
+		// so bt > 0 throughout: φsafe is invariant.
+		P2a: func() error {
+			if mon.Tmax() <= 0 {
+				return fmt.Errorf("non-positive landing budget Tmax")
+			}
+			return nil
+		},
+		// (P2b): φsafer = bt > 85% requires recharge; the obligation is
+		// vacuous in-flight (the paper's module stays in SC after landing,
+		// returning to AC only when "sufficiently charged").
+		P2b: func() error { return nil },
+		// (P3): from bt > 85%, any control discharges at most cost* ≪ 85%
+		// over 2Δ, so bt > 0 still holds.
+		P3: func() error {
+			if mon.CostStar() >= mon.SaferThreshold() {
+				return fmt.Errorf("cost* = %v exceeds φsafer threshold %v", mon.CostStar(), mon.SaferThreshold())
+			}
+			return nil
+		},
+	}
+}
+
+// plannerCertificate discharges the planner module's obligations: the SC is
+// the certified A* planner whose every output is validated (safe by
+// construction), giving (P2a) and (P2b); (P3) follows from the 2Δ·vmax
+// travel-distance guard in the module's predicates.
+func plannerCertificate(cfg StackConfig) rta.Certificate {
+	return reach.StaticCertificate{
+		P2a: func() error { return nil },
+		P2b: func() error { return nil },
+		P3: func() error {
+			if cfg.PlantParams.MaxVel <= 0 {
+				return fmt.Errorf("MaxVel must be positive")
+			}
+			return nil
+		},
+	}
+}

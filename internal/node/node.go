@@ -1,0 +1,204 @@
+// Package node implements the SOTER node abstraction (Section III-A): a node
+// is a tuple (N, I, O, T, C) — a named periodic input-output state-transition
+// system that, at every time instant in its calendar, reads the values of its
+// input topics, updates its local state, and publishes values on its output
+// topics.
+package node
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/calendar"
+	"repro/internal/pubsub"
+)
+
+// State is the local state l ∈ L of a node. States must be treated as values:
+// Step must not mutate its argument but return a fresh (or identical) state,
+// so the systematic-testing engine can snapshot configurations.
+type State any
+
+// StepFunc is the transition relation T of a node restricted to a
+// deterministic function: given the local state and the valuation of the
+// subscribed topics, it returns the next local state and the valuation to
+// publish on (a subset of) the output topics. Nondeterminism, where needed,
+// is injected through the environment or through explicit RNG state carried
+// in the local state.
+type StepFunc func(st State, in pubsub.Valuation) (State, pubsub.Valuation, error)
+
+// InitFunc produces the initial local state l0 of a node.
+type InitFunc func() State
+
+// Node is an immutable node declaration. Construct one with New; the zero
+// value is not valid.
+type Node struct {
+	name    string
+	inputs  []pubsub.TopicName
+	outputs []pubsub.TopicName
+	sched   calendar.Schedule
+	init    InitFunc
+	step    StepFunc
+}
+
+// Option configures optional node attributes.
+type Option func(*options)
+
+type options struct {
+	phase time.Duration
+	init  InitFunc
+}
+
+// WithPhase offsets the node's first firing from time zero.
+func WithPhase(p time.Duration) Option {
+	return func(o *options) { o.phase = p }
+}
+
+// WithInit sets the initial-local-state constructor. Nodes without one start
+// with a nil local state.
+func WithInit(f InitFunc) Option {
+	return func(o *options) { o.init = f }
+}
+
+// New constructs a node named name with period period, subscribing to inputs,
+// publishing on outputs, and transition function step.
+//
+// Per the paper's definition, output topics must be disjoint from input
+// topics (I ∩ O = ∅); duplicates within either set are also rejected.
+func New(name string, period time.Duration, inputs, outputs []pubsub.TopicName, step StepFunc, opts ...Option) (*Node, error) {
+	if name == "" {
+		return nil, fmt.Errorf("node with empty name")
+	}
+	if step == nil {
+		return nil, fmt.Errorf("node %q: nil step function", name)
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	sched := calendar.Schedule{Period: period, Phase: o.phase}
+	if err := sched.Validate(); err != nil {
+		return nil, fmt.Errorf("node %q: %w", name, err)
+	}
+	in, err := normalizeTopics(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("node %q inputs: %w", name, err)
+	}
+	out, err := normalizeTopics(outputs)
+	if err != nil {
+		return nil, fmt.Errorf("node %q outputs: %w", name, err)
+	}
+	seen := make(map[pubsub.TopicName]bool, len(in))
+	for _, t := range in {
+		seen[t] = true
+	}
+	for _, t := range out {
+		if seen[t] {
+			return nil, fmt.Errorf("node %q: topic %q is both input and output", name, t)
+		}
+	}
+	init := o.init
+	if init == nil {
+		init = func() State { return nil }
+	}
+	return &Node{
+		name:    name,
+		inputs:  in,
+		outputs: out,
+		sched:   sched,
+		init:    init,
+		step:    step,
+	}, nil
+}
+
+// MustNew is New for statically known-good declarations; it panics on error.
+// Reserve it for tests and package-internal constants.
+func MustNew(name string, period time.Duration, inputs, outputs []pubsub.TopicName, step StepFunc, opts ...Option) *Node {
+	n, err := New(name, period, inputs, outputs, step, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Name returns the unique node name N.
+func (n *Node) Name() string { return n.name }
+
+// Inputs returns a copy of the subscribed topic names I(N), sorted.
+func (n *Node) Inputs() []pubsub.TopicName { return copyTopics(n.inputs) }
+
+// Outputs returns a copy of the published topic names O(N), sorted.
+func (n *Node) Outputs() []pubsub.TopicName { return copyTopics(n.outputs) }
+
+// Period returns the node's period δ(N).
+func (n *Node) Period() time.Duration { return n.sched.Period }
+
+// Schedule returns the node's time-table C(N).
+func (n *Node) Schedule() calendar.Schedule { return n.sched }
+
+// InitState returns a fresh initial local state l0.
+func (n *Node) InitState() State { return n.init() }
+
+// Step applies the transition relation once. It validates that the produced
+// output valuation only mentions declared output topics.
+func (n *Node) Step(st State, in pubsub.Valuation) (State, pubsub.Valuation, error) {
+	next, out, err := n.step(st, in)
+	if err != nil {
+		return nil, nil, fmt.Errorf("node %q step: %w", n.name, err)
+	}
+	for topic := range out {
+		if !n.publishes(topic) {
+			return nil, nil, fmt.Errorf("node %q published on undeclared output topic %q", n.name, topic)
+		}
+	}
+	return next, out, nil
+}
+
+// SubscribesTo reports whether topic is one of the node's inputs.
+func (n *Node) SubscribesTo(topic pubsub.TopicName) bool {
+	return containsTopic(n.inputs, topic)
+}
+
+func (n *Node) publishes(topic pubsub.TopicName) bool {
+	return containsTopic(n.outputs, topic)
+}
+
+// SameOutputs reports whether two nodes publish exactly the same set of
+// topics — property (P1b) of a well-formed RTA module.
+func SameOutputs(a, b *Node) bool {
+	if len(a.outputs) != len(b.outputs) {
+		return false
+	}
+	for i := range a.outputs {
+		if a.outputs[i] != b.outputs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func normalizeTopics(ts []pubsub.TopicName) ([]pubsub.TopicName, error) {
+	out := make([]pubsub.TopicName, len(ts))
+	copy(out, ts)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	for i := range out {
+		if out[i] == "" {
+			return nil, fmt.Errorf("empty topic name")
+		}
+		if i > 0 && out[i] == out[i-1] {
+			return nil, fmt.Errorf("duplicate topic %q", out[i])
+		}
+	}
+	return out, nil
+}
+
+func copyTopics(ts []pubsub.TopicName) []pubsub.TopicName {
+	out := make([]pubsub.TopicName, len(ts))
+	copy(out, ts)
+	return out
+}
+
+func containsTopic(sorted []pubsub.TopicName, t pubsub.TopicName) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= t })
+	return i < len(sorted) && sorted[i] == t
+}

@@ -1,0 +1,153 @@
+package plan
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// AStar is the certified safe planner: 26-connected A* over an occupancy
+// grid with inflated obstacles, followed by margin-checked shortcut
+// smoothing and a final validation pass. Its output is safe by construction:
+// every returned plan passes Validate, or an error is returned.
+type AStar struct {
+	ws     *geom.Workspace
+	grid   *geom.Grid
+	margin float64
+}
+
+var _ Planner = (*AStar)(nil)
+
+// NewAStar builds the planner. res is the grid resolution; margin is the
+// clearance required of the final plan (the grid is inflated by margin plus
+// half a cell diagonal so that cell-centre paths respect the margin).
+func NewAStar(ws *geom.Workspace, res, margin float64) (*AStar, error) {
+	inflate := margin + res*math.Sqrt(3)/2
+	grid, err := geom.NewGrid(ws, res, inflate)
+	if err != nil {
+		return nil, fmt.Errorf("astar grid: %w", err)
+	}
+	return &AStar{ws: ws, grid: grid, margin: margin}, nil
+}
+
+type asItem struct {
+	cell geom.Cell
+	f    float64
+}
+
+type asHeap []asItem
+
+func (h asHeap) Len() int           { return len(h) }
+func (h asHeap) Less(i, j int) bool { return h[i].f < h[j].f }
+func (h asHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *asHeap) Push(x any)        { *h = append(*h, x.(asItem)) }
+func (h *asHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Plan implements Planner.
+func (a *AStar) Plan(start, goal geom.Vec3) (Plan, error) {
+	sc, err := a.nearestFreeCell(start)
+	if err != nil {
+		return nil, fmt.Errorf("astar start %v: %w", start, err)
+	}
+	gc, err := a.nearestFreeCell(goal)
+	if err != nil {
+		return nil, fmt.Errorf("astar goal %v: %w", goal, err)
+	}
+
+	gScore := make(map[geom.Cell]float64)
+	cameFrom := make(map[geom.Cell]geom.Cell)
+	closed := make(map[geom.Cell]bool)
+	goalP := a.grid.CellCenter(gc)
+
+	h := func(c geom.Cell) float64 { return a.grid.CellCenter(c).Dist(goalP) }
+	open := &asHeap{{cell: sc, f: h(sc)}}
+	gScore[sc] = 0
+
+	var nbuf []geom.Cell
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(asItem).cell
+		if closed[cur] {
+			continue
+		}
+		if cur == gc {
+			return a.reconstruct(cameFrom, cur, start, goal)
+		}
+		closed[cur] = true
+		curP := a.grid.CellCenter(cur)
+		nbuf = a.grid.Neighbors26(cur, nbuf[:0])
+		for _, n := range nbuf {
+			if a.grid.Occupied(n) || closed[n] {
+				continue
+			}
+			tentative := gScore[cur] + curP.Dist(a.grid.CellCenter(n))
+			if old, seen := gScore[n]; !seen || tentative < old {
+				gScore[n] = tentative
+				cameFrom[n] = cur
+				heap.Push(open, asItem{cell: n, f: tentative + h(n)})
+			}
+		}
+	}
+	return nil, fmt.Errorf("astar %v → %v: %w", start, goal, ErrNoPath)
+}
+
+func (a *AStar) reconstruct(cameFrom map[geom.Cell]geom.Cell, cur geom.Cell, start, goal geom.Vec3) (Plan, error) {
+	var rev []geom.Vec3
+	for {
+		rev = append(rev, a.grid.CellCenter(cur))
+		prev, ok := cameFrom[cur]
+		if !ok {
+			break
+		}
+		cur = prev
+	}
+	p := make(Plan, 0, len(rev)+2)
+	p = append(p, start)
+	for i := len(rev) - 1; i >= 0; i-- {
+		p = append(p, rev[i])
+	}
+	p = append(p, goal)
+	p = Shortcut(p, a.ws, a.margin)
+	if err := Validate(p, a.ws, a.margin, start, goal, 1e-6); err != nil {
+		return nil, fmt.Errorf("astar produced invalid plan (bug): %w", err)
+	}
+	return p, nil
+}
+
+// nearestFreeCell returns the cell of p, or — when p's own cell is occupied
+// (the query point hugs an inflated obstacle) — the nearest free cell within
+// a small search radius.
+func (a *AStar) nearestFreeCell(p geom.Vec3) (geom.Cell, error) {
+	c := a.grid.CellOf(p)
+	if a.grid.InGrid(c) && !a.grid.Occupied(c) {
+		return c, nil
+	}
+	best := geom.Cell{}
+	bestD := math.Inf(1)
+	found := false
+	const r = 3
+	for dz := -r; dz <= r; dz++ {
+		for dy := -r; dy <= r; dy++ {
+			for dx := -r; dx <= r; dx++ {
+				n := geom.Cell{X: c.X + dx, Y: c.Y + dy, Z: c.Z + dz}
+				if !a.grid.InGrid(n) || a.grid.Occupied(n) {
+					continue
+				}
+				if d := a.grid.CellCenter(n).Dist(p); d < bestD {
+					bestD, best, found = d, n, true
+				}
+			}
+		}
+	}
+	if !found {
+		return geom.Cell{}, fmt.Errorf("no free cell near %v: %w", p, ErrNoPath)
+	}
+	return best, nil
+}

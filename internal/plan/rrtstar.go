@@ -1,0 +1,259 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Bug enumerates the deterministic defects injectable into the RRT*
+// implementation, reproducing Section V-C ("we injected bugs into the
+// implementation of RRT* such that in some cases the generated motion plan
+// can collide with obstacles").
+type Bug int
+
+// Injectable bugs.
+const (
+	// BugNone: correct RRT*.
+	BugNone Bug = iota
+	// BugSkipEdgeCheck: a fraction of tree extensions skip the edge
+	// collision check (a classic broken-refactor bug).
+	BugSkipEdgeCheck
+	// BugUncheckedShortcut: the final path is shortcut without collision
+	// checking the new segments (an "optimisation" that trades safety for
+	// path length).
+	BugUncheckedShortcut
+	// BugStaleObstacles: the planner checks collisions against a shrunken
+	// copy of the obstacle set (stale or mis-scaled map).
+	BugStaleObstacles
+)
+
+// String implements fmt.Stringer.
+func (b Bug) String() string {
+	switch b {
+	case BugNone:
+		return "none"
+	case BugSkipEdgeCheck:
+		return "skip-edge-check"
+	case BugUncheckedShortcut:
+		return "unchecked-shortcut"
+	case BugStaleObstacles:
+		return "stale-obstacles"
+	default:
+		return fmt.Sprintf("Bug(%d)", int(b))
+	}
+}
+
+// RRTStarConfig configures the sampling-based planner.
+type RRTStarConfig struct {
+	// MaxIters bounds the number of samples.
+	MaxIters int
+	// StepSize is the steering extension length.
+	StepSize float64
+	// NeighborRadius is the rewiring radius.
+	NeighborRadius float64
+	// GoalBias is the probability of sampling the goal directly.
+	GoalBias float64
+	// GoalTolerance is how close a node must get to the goal.
+	GoalTolerance float64
+	// Margin is the clearance used in collision checks.
+	Margin float64
+	// Seed drives the sampler.
+	Seed int64
+	// Bug selects an injected defect (BugNone for the correct planner).
+	Bug Bug
+	// BugRate is the per-decision activation probability for probabilistic
+	// bugs (BugSkipEdgeCheck).
+	BugRate float64
+}
+
+// DefaultRRTStarConfig returns a configuration tuned for the 50 m city
+// workspace.
+func DefaultRRTStarConfig(seed int64) RRTStarConfig {
+	return RRTStarConfig{
+		MaxIters:       4000,
+		StepSize:       3.0,
+		NeighborRadius: 6.0,
+		GoalBias:       0.10,
+		GoalTolerance:  1.0,
+		Margin:         0.6,
+		Seed:           seed,
+	}
+}
+
+// RRTStar is the third-party motion-planner stand-in (OMPL's RRT* [29]): an
+// asymptotically optimal sampling-based planner. With a Bug configured it is
+// the untrusted advanced planner of the Section V-C experiment.
+type RRTStar struct {
+	ws  *geom.Workspace
+	cfg RRTStarConfig
+	rng *rand.Rand
+	// staleObs is the shrunken obstacle set used by BugStaleObstacles.
+	staleWS *geom.Workspace
+}
+
+var _ Planner = (*RRTStar)(nil)
+
+// NewRRTStar builds the planner.
+func NewRRTStar(ws *geom.Workspace, cfg RRTStarConfig) (*RRTStar, error) {
+	if cfg.MaxIters <= 0 || cfg.StepSize <= 0 || cfg.NeighborRadius <= 0 {
+		return nil, fmt.Errorf("rrtstar: MaxIters, StepSize, NeighborRadius must be positive")
+	}
+	if cfg.GoalTolerance <= 0 {
+		return nil, fmt.Errorf("rrtstar: GoalTolerance must be positive")
+	}
+	r := &RRTStar{ws: ws, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Bug == BugStaleObstacles {
+		obs := ws.Obstacles()
+		shrunk := make([]geom.AABB, len(obs))
+		for i, o := range obs {
+			shrunk[i] = o.Expand(-1.2) // stale map: obstacles 1.2 m smaller
+		}
+		staleWS, err := geom.NewWorkspace(ws.Bounds(), shrunk)
+		if err != nil {
+			return nil, fmt.Errorf("rrtstar stale workspace: %w", err)
+		}
+		r.staleWS = staleWS
+	}
+	return r, nil
+}
+
+type rrtNode struct {
+	pos    geom.Vec3
+	parent int
+	cost   float64
+}
+
+// Plan implements Planner. With BugNone the result always satisfies the
+// clearance margin (it is validated); with a bug injected the result may
+// collide — by design, to exercise the RTA protection.
+func (r *RRTStar) Plan(start, goal geom.Vec3) (Plan, error) {
+	nodes := []rrtNode{{pos: start, parent: -1}}
+	bestGoal := -1
+	bestCost := math.Inf(1)
+	bounds := r.ws.Bounds()
+	size := bounds.Size()
+
+	for it := 0; it < r.cfg.MaxIters; it++ {
+		var sample geom.Vec3
+		if r.rng.Float64() < r.cfg.GoalBias {
+			sample = goal
+		} else {
+			sample = geom.V(
+				bounds.Min.X+r.rng.Float64()*size.X,
+				bounds.Min.Y+r.rng.Float64()*size.Y,
+				bounds.Min.Z+r.rng.Float64()*size.Z,
+			)
+		}
+		nearest := r.nearest(nodes, sample)
+		newPos := r.steer(nodes[nearest].pos, sample)
+		if !r.pointFree(newPos) {
+			continue
+		}
+		if !r.edgeFree(nodes[nearest].pos, newPos) {
+			continue
+		}
+		// Choose parent: lowest cost among neighbours with a free edge.
+		parent := nearest
+		cost := nodes[nearest].cost + nodes[nearest].pos.Dist(newPos)
+		neighbors := r.near(nodes, newPos)
+		for _, n := range neighbors {
+			c := nodes[n].cost + nodes[n].pos.Dist(newPos)
+			if c < cost && r.edgeFree(nodes[n].pos, newPos) {
+				parent, cost = n, c
+			}
+		}
+		nodes = append(nodes, rrtNode{pos: newPos, parent: parent, cost: cost})
+		newIdx := len(nodes) - 1
+		// Rewire neighbours through the new node when cheaper.
+		for _, n := range neighbors {
+			c := cost + newPos.Dist(nodes[n].pos)
+			if c < nodes[n].cost && r.edgeFree(newPos, nodes[n].pos) {
+				nodes[n].parent = newIdx
+				nodes[n].cost = c
+			}
+		}
+		if d := newPos.Dist(goal); d <= r.cfg.GoalTolerance {
+			if c := cost + d; c < bestCost {
+				bestCost = c
+				bestGoal = newIdx
+			}
+		}
+	}
+	if bestGoal < 0 {
+		return nil, fmt.Errorf("rrtstar %v → %v after %d iters: %w", start, goal, r.cfg.MaxIters, ErrNoPath)
+	}
+
+	var rev []geom.Vec3
+	for i := bestGoal; i >= 0; i = nodes[i].parent {
+		rev = append(rev, nodes[i].pos)
+	}
+	p := make(Plan, 0, len(rev)+1)
+	for i := len(rev) - 1; i >= 0; i-- {
+		p = append(p, rev[i])
+	}
+	p = append(p, goal)
+
+	if r.cfg.Bug == BugUncheckedShortcut {
+		p = r.uncheckedShortcut(p)
+	} else {
+		p = Shortcut(p, r.ws, r.cfg.Margin)
+	}
+	return p, nil
+}
+
+func (r *RRTStar) nearest(nodes []rrtNode, p geom.Vec3) int {
+	best, bestD := 0, math.Inf(1)
+	for i, n := range nodes {
+		if d := n.pos.Dist(p); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func (r *RRTStar) near(nodes []rrtNode, p geom.Vec3) []int {
+	var out []int
+	for i, n := range nodes {
+		if n.pos.Dist(p) <= r.cfg.NeighborRadius {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (r *RRTStar) steer(from, to geom.Vec3) geom.Vec3 {
+	d := to.Sub(from)
+	if d.Norm() <= r.cfg.StepSize {
+		return to
+	}
+	return from.Add(d.Unit().Scale(r.cfg.StepSize))
+}
+
+func (r *RRTStar) pointFree(p geom.Vec3) bool {
+	if r.cfg.Bug == BugStaleObstacles {
+		return r.staleWS.FreeWithMargin(p, r.cfg.Margin)
+	}
+	return r.ws.FreeWithMargin(p, r.cfg.Margin)
+}
+
+func (r *RRTStar) edgeFree(a, b geom.Vec3) bool {
+	if r.cfg.Bug == BugSkipEdgeCheck && r.rng.Float64() < r.cfg.BugRate {
+		return true // the bug: extension accepted without checking
+	}
+	if r.cfg.Bug == BugStaleObstacles {
+		return r.staleWS.SegmentFree(a, b, r.cfg.Margin)
+	}
+	return r.ws.SegmentFree(a, b, r.cfg.Margin)
+}
+
+// uncheckedShortcut aggressively straightens the path without collision
+// checking — the BugUncheckedShortcut defect.
+func (r *RRTStar) uncheckedShortcut(p Plan) Plan {
+	if len(p) <= 2 {
+		return p
+	}
+	return Plan{p[0], p[len(p)-1]}
+}

@@ -1,0 +1,229 @@
+// Package pubsub implements the publish-subscribe communication substrate of
+// the SOTER programming model (Section II-B, III-A of the paper). A topic is
+// a (name, value) pair; nodes communicate by publishing on and subscribing to
+// message topics. Following the paper's simplified presentation, the Store
+// models the globally visible value of each topic; Bus additionally models
+// the per-subscriber local buffers of a real ROS-style middleware.
+package pubsub
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TopicName is the unique name e ∈ T of a topic.
+type TopicName string
+
+// Value is the value v ∈ V carried by a topic. Values must be treated as
+// immutable once published: publishers hand off ownership.
+type Value any
+
+// Topic declares a communication channel with its default (initial) value.
+type Topic struct {
+	Name    TopicName
+	Default Value
+}
+
+// Valuation maps a set of topic names to their values (Vals(X) in the paper).
+type Valuation map[TopicName]Value
+
+// Clone returns a shallow copy of the valuation.
+func (v Valuation) Clone() Valuation {
+	out := make(Valuation, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+// Names returns the sorted topic names present in the valuation.
+func (v Valuation) Names() []TopicName {
+	names := make([]TopicName, 0, len(v))
+	for k := range v {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// Store holds the globally visible value of every declared topic
+// (Topics ∈ T → V in the operational semantics, Figure 11). Store is not
+// safe for concurrent use; the discrete-event executor is single-threaded.
+type Store struct {
+	values map[TopicName]Value
+}
+
+// NewStore creates a store with the given topics at their default values.
+// Duplicate topic declarations are an error.
+func NewStore(topics ...Topic) (*Store, error) {
+	s := &Store{values: make(map[TopicName]Value, len(topics))}
+	for _, t := range topics {
+		if t.Name == "" {
+			return nil, fmt.Errorf("topic with empty name")
+		}
+		if _, dup := s.values[t.Name]; dup {
+			return nil, fmt.Errorf("duplicate topic %q", t.Name)
+		}
+		s.values[t.Name] = t.Default
+	}
+	return s, nil
+}
+
+// Has reports whether the topic is declared.
+func (s *Store) Has(name TopicName) bool {
+	_, ok := s.values[name]
+	return ok
+}
+
+// Get returns the current value of the topic.
+func (s *Store) Get(name TopicName) (Value, error) {
+	v, ok := s.values[name]
+	if !ok {
+		return nil, fmt.Errorf("undeclared topic %q", name)
+	}
+	return v, nil
+}
+
+// Set updates the value of a declared topic.
+func (s *Store) Set(name TopicName, v Value) error {
+	if _, ok := s.values[name]; !ok {
+		return fmt.Errorf("undeclared topic %q", name)
+	}
+	s.values[name] = v
+	return nil
+}
+
+// Read returns the valuation of the given topic names (Topics[X]).
+func (s *Store) Read(names []TopicName) (Valuation, error) {
+	out := make(Valuation, len(names))
+	for _, n := range names {
+		v, ok := s.values[n]
+		if !ok {
+			return nil, fmt.Errorf("undeclared topic %q", n)
+		}
+		out[n] = v
+	}
+	return out, nil
+}
+
+// Write applies the output valuation to the store (Topics' = out ∪ Topics).
+func (s *Store) Write(out Valuation) error {
+	for n := range out {
+		if _, ok := s.values[n]; !ok {
+			return fmt.Errorf("undeclared topic %q", n)
+		}
+	}
+	for n, v := range out {
+		s.values[n] = v
+	}
+	return nil
+}
+
+// Snapshot returns a copy of the full topic valuation.
+func (s *Store) Snapshot() Valuation {
+	out := make(Valuation, len(s.values))
+	for k, v := range s.values {
+		out[k] = v
+	}
+	return out
+}
+
+// Names returns the sorted names of all declared topics.
+func (s *Store) Names() []TopicName {
+	names := make([]TopicName, 0, len(s.values))
+	for k := range s.values {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	return names
+}
+
+// Bus is a thread-safe publish-subscribe middleware with per-subscriber
+// buffers, modelling the local buffer each SOTER node keeps for every
+// subscribed topic. The publish operation adds the message into the
+// corresponding local buffer of all nodes that have subscribed to the topic.
+type Bus struct {
+	mu   sync.Mutex
+	subs map[TopicName]map[string]*buffer
+}
+
+type buffer struct {
+	msgs []Value
+	cap  int
+}
+
+// NewBus creates an empty bus.
+func NewBus() *Bus {
+	return &Bus{subs: make(map[TopicName]map[string]*buffer)}
+}
+
+// Subscribe registers subscriber sub on the topic with a bounded local buffer
+// of the given capacity (oldest messages are dropped on overflow, matching
+// typical ROS queue semantics). Re-subscribing replaces the buffer.
+func (b *Bus) Subscribe(sub string, topic TopicName, capacity int) error {
+	if capacity <= 0 {
+		return fmt.Errorf("subscriber %q topic %q: capacity %d must be positive", sub, topic, capacity)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m, ok := b.subs[topic]
+	if !ok {
+		m = make(map[string]*buffer)
+		b.subs[topic] = m
+	}
+	m[sub] = &buffer{cap: capacity}
+	return nil
+}
+
+// Publish delivers the value to the local buffer of every subscriber of the
+// topic and returns the number of subscribers reached.
+func (b *Bus) Publish(topic TopicName, v Value) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, buf := range b.subs[topic] {
+		if len(buf.msgs) >= buf.cap {
+			copy(buf.msgs, buf.msgs[1:])
+			buf.msgs = buf.msgs[:len(buf.msgs)-1]
+		}
+		buf.msgs = append(buf.msgs, v)
+		n++
+	}
+	return n
+}
+
+// Drain removes and returns all buffered messages for the subscriber on the
+// topic, oldest first.
+func (b *Bus) Drain(sub string, topic TopicName) []Value {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.subs[topic]
+	if m == nil {
+		return nil
+	}
+	buf := m[sub]
+	if buf == nil || len(buf.msgs) == 0 {
+		return nil
+	}
+	out := make([]Value, len(buf.msgs))
+	copy(out, buf.msgs)
+	buf.msgs = buf.msgs[:0]
+	return out
+}
+
+// Latest returns the newest buffered message for the subscriber without
+// draining, and whether one exists.
+func (b *Bus) Latest(sub string, topic TopicName) (Value, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.subs[topic]
+	if m == nil {
+		return nil, false
+	}
+	buf := m[sub]
+	if buf == nil || len(buf.msgs) == 0 {
+		return nil, false
+	}
+	return buf.msgs[len(buf.msgs)-1], true
+}

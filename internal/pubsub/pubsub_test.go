@@ -1,0 +1,174 @@
+package pubsub
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(Topic{Name: ""}); err == nil {
+		t.Error("expected error for empty topic name")
+	}
+	if _, err := NewStore(Topic{Name: "a"}, Topic{Name: "a"}); err == nil {
+		t.Error("expected error for duplicate topic")
+	}
+}
+
+func TestStoreGetSet(t *testing.T) {
+	s, err := NewStore(Topic{Name: "pos", Default: 1.5}, Topic{Name: "cmd"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("pos")
+	if err != nil || v.(float64) != 1.5 {
+		t.Errorf("Get default = %v, %v", v, err)
+	}
+	v, err = s.Get("cmd")
+	if err != nil || v != nil {
+		t.Errorf("Get zero default = %v, %v", v, err)
+	}
+	if err := s.Set("pos", 2.5); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Get("pos")
+	if v.(float64) != 2.5 {
+		t.Errorf("Get after Set = %v", v)
+	}
+	if _, err := s.Get("nope"); err == nil {
+		t.Error("expected error for undeclared topic")
+	}
+	if err := s.Set("nope", 1); err == nil {
+		t.Error("expected error setting undeclared topic")
+	}
+	if !s.Has("pos") || s.Has("nope") {
+		t.Error("Has is wrong")
+	}
+}
+
+func TestStoreReadWrite(t *testing.T) {
+	s, _ := NewStore(Topic{Name: "a", Default: 1}, Topic{Name: "b", Default: 2}, Topic{Name: "c", Default: 3})
+	val, err := s.Read([]TopicName{"a", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(val, Valuation{"a": 1, "c": 3}) {
+		t.Errorf("Read = %v", val)
+	}
+	if _, err := s.Read([]TopicName{"a", "zzz"}); err == nil {
+		t.Error("expected error reading undeclared topic")
+	}
+	if err := s.Write(Valuation{"a": 10, "b": 20}); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if !reflect.DeepEqual(snap, Valuation{"a": 10, "b": 20, "c": 3}) {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	// Write with an undeclared topic must be rejected atomically: nothing
+	// else in the batch is applied.
+	if err := s.Write(Valuation{"c": 99, "zzz": 1}); err == nil {
+		t.Error("expected error writing undeclared topic")
+	}
+	if v, _ := s.Get("c"); v.(int) != 3 {
+		t.Errorf("partial write applied: c = %v", v)
+	}
+}
+
+func TestStoreNamesSorted(t *testing.T) {
+	s, _ := NewStore(Topic{Name: "zeta"}, Topic{Name: "alpha"}, Topic{Name: "mid"})
+	got := s.Names()
+	want := []TopicName{"alpha", "mid", "zeta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Names = %v", got)
+	}
+}
+
+func TestValuationClone(t *testing.T) {
+	v := Valuation{"a": 1, "b": 2}
+	c := v.Clone()
+	c["a"] = 99
+	if v["a"].(int) != 1 {
+		t.Error("Clone shares storage with the original")
+	}
+	names := v.Names()
+	if !reflect.DeepEqual(names, []TopicName{"a", "b"}) {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestBusPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	if err := b.Subscribe("n1", "topic", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Subscribe("n2", "topic", 4); err != nil {
+		t.Fatal(err)
+	}
+	if n := b.Publish("topic", 42); n != 2 {
+		t.Errorf("Publish reached %d subscribers, want 2", n)
+	}
+	if n := b.Publish("other", 1); n != 0 {
+		t.Errorf("Publish to topic without subscribers reached %d", n)
+	}
+	got := b.Drain("n1", "topic")
+	if len(got) != 1 || got[0].(int) != 42 {
+		t.Errorf("Drain = %v", got)
+	}
+	if got := b.Drain("n1", "topic"); got != nil {
+		t.Errorf("second Drain = %v, want nil", got)
+	}
+	// n2 still has its own buffered copy.
+	if v, ok := b.Latest("n2", "topic"); !ok || v.(int) != 42 {
+		t.Errorf("Latest(n2) = %v, %v", v, ok)
+	}
+}
+
+func TestBusOverflowDropsOldest(t *testing.T) {
+	b := NewBus()
+	if err := b.Subscribe("n", "t", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		b.Publish("t", i)
+	}
+	got := b.Drain("n", "t")
+	if len(got) != 2 || got[0].(int) != 4 || got[1].(int) != 5 {
+		t.Errorf("Drain after overflow = %v, want [4 5]", got)
+	}
+}
+
+func TestBusSubscribeValidation(t *testing.T) {
+	b := NewBus()
+	if err := b.Subscribe("n", "t", 0); err == nil {
+		t.Error("expected error for zero capacity")
+	}
+	if _, ok := b.Latest("ghost", "t"); ok {
+		t.Error("Latest for unknown subscriber should report not-ok")
+	}
+	if got := b.Drain("ghost", "t"); got != nil {
+		t.Errorf("Drain unknown subscriber = %v", got)
+	}
+}
+
+func TestBusConcurrentPublish(t *testing.T) {
+	b := NewBus()
+	if err := b.Subscribe("n", "t", 1024); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Publish("t", w*1000+i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := b.Drain("n", "t")
+	if len(got) != 800 {
+		t.Errorf("drained %d messages, want 800", len(got))
+	}
+}

@@ -1,0 +1,147 @@
+package reach
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+// brakingStep is a minimal certified-safe closed loop: brake each axis at
+// the guaranteed deceleration, hover once stopped. φsafe = BrakeBox free is
+// invariant under it by construction.
+func brakingStep(b Bounds, period time.Duration) SCStepFunc {
+	return func(pos, vel geom.Vec3) (geom.Vec3, geom.Vec3) {
+		h := period.Seconds()
+		brake := func(v float64) float64 {
+			a := -v / h
+			if a > b.BrakeDecel {
+				a = b.BrakeDecel
+			}
+			if a < -b.BrakeDecel {
+				a = -b.BrakeDecel
+			}
+			return a
+		}
+		acc := geom.V(brake(vel.X), brake(vel.Y), brake(vel.Z))
+		vmax := geom.V(b.MaxVel, b.MaxVel, b.MaxVel)
+		nv := vel.Add(acc.Scale(h)).ClampBox(vmax.Neg(), vmax)
+		return pos.Add(nv.Scale(h)), nv
+	}
+}
+
+// runawayStep violates (P2a): it accelerates along +X forever.
+func runawayStep(b Bounds, period time.Duration) SCStepFunc {
+	return func(pos, vel geom.Vec3) (geom.Vec3, geom.Vec3) {
+		h := period.Seconds()
+		vmax := geom.V(b.MaxVel, b.MaxVel, b.MaxVel)
+		nv := vel.Add(geom.V(b.MaxAccel, 0, 0).Scale(h)).ClampBox(vmax.Neg(), vmax)
+		return pos.Add(nv.Scale(h)), nv
+	}
+}
+
+func certAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	ws, err := geom.NewWorkspace(
+		geom.Box(geom.V(0, 0, 0), geom.V(30, 30, 10)),
+		[]geom.AABB{geom.Box(geom.V(12, 12, 0), geom.V(18, 18, 8))},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := NewAnalyzer(ws, testBounds(), 0.4, 100*time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return an
+}
+
+func TestNewCertificateValidation(t *testing.T) {
+	an := certAnalyzer(t)
+	step := brakingStep(an.Bounds(), 20*time.Millisecond)
+	if _, err := NewCertificate(CertConfig{SCStep: step, SCPeriod: 20 * time.Millisecond, Samples: 1}); err == nil {
+		t.Error("nil analyzer accepted")
+	}
+	if _, err := NewCertificate(CertConfig{Analyzer: an, SCPeriod: 20 * time.Millisecond, Samples: 1}); err == nil {
+		t.Error("nil SC step accepted")
+	}
+	if _, err := NewCertificate(CertConfig{Analyzer: an, SCStep: step, SCPeriod: time.Second, Samples: 1}); err == nil {
+		t.Error("SC period exceeding Δ accepted (violates P1a)")
+	}
+	if _, err := NewCertificate(CertConfig{Analyzer: an, SCStep: step, SCPeriod: 20 * time.Millisecond, Samples: 0}); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestCertificateP2aBrakingController(t *testing.T) {
+	an := certAnalyzer(t)
+	cert, err := NewCertificate(CertConfig{
+		Analyzer: an,
+		SCStep:   brakingStep(an.Bounds(), 20*time.Millisecond),
+		SCPeriod: 20 * time.Millisecond,
+		Samples:  150,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.CheckP2a(); err != nil {
+		t.Errorf("(P2a) failed for the braking controller: %v", err)
+	}
+}
+
+func TestCertificateP2aCatchesRunaway(t *testing.T) {
+	an := certAnalyzer(t)
+	cert, err := NewCertificate(CertConfig{
+		Analyzer: an,
+		SCStep:   runawayStep(an.Bounds(), 20*time.Millisecond),
+		SCPeriod: 20 * time.Millisecond,
+		Samples:  100,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cert.CheckP2a()
+	if err == nil {
+		t.Fatal("(P2a) accepted a runaway controller")
+	}
+	if !strings.Contains(err.Error(), "left φsafe") {
+		t.Errorf("unexpected (P2a) error: %v", err)
+	}
+}
+
+func TestCertificateP3Construction(t *testing.T) {
+	an := certAnalyzer(t)
+	cert, err := NewCertificate(CertConfig{
+		Analyzer: an,
+		SCStep:   brakingStep(an.Bounds(), 20*time.Millisecond),
+		SCPeriod: 20 * time.Millisecond,
+		Samples:  80,
+		Seed:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cert.CheckP3(); err != nil {
+		t.Errorf("(P3) failed although φsafer = stop-box construction guarantees it: %v", err)
+	}
+}
+
+func TestStaticCertificate(t *testing.T) {
+	var c StaticCertificate
+	if c.CheckP2a() != nil || c.CheckP2b() != nil || c.CheckP3() != nil {
+		t.Error("empty static certificate should pass")
+	}
+	c = StaticCertificate{P2b: func() error { return errTest }}
+	if c.CheckP2b() == nil {
+		t.Error("static certificate did not propagate P2b error")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }

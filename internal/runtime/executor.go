@@ -1,0 +1,428 @@
+// Package runtime executes an RTA system according to the operational
+// semantics of Figure 11 in the paper. A configuration is the tuple
+// (L, OE, ct, FN, Topics); the executor repeatedly applies:
+//
+//   - DISCRETE-TIME-PROGRESS-STEP: when FN = ∅, advance ct to the earliest
+//     calendar entry and set FN to the nodes firing then;
+//   - ENVIRONMENT-INPUT: environment hooks may update input topics at any
+//     time; the executor invokes them at every time progress;
+//   - DM-STEP: a firing decision module reads the monitored state, updates
+//     its mode, and the output-enable map OE is updated so exactly one of
+//     {AC, SC} has its outputs enabled;
+//   - AC-OR-SC-STEP: a firing controller (or plain) node reads its input
+//     topics, steps, and publishes its outputs only if enabled in OE.
+//
+// The executor is deterministic: nodes firing at the same instant run in a
+// fixed order (DMs first, then the remaining nodes alphabetically) unless a
+// custom ScheduleOrder is installed — the systematic-testing engine in
+// internal/explore uses that hook to enumerate interleavings under bounded
+// asynchrony.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/calendar"
+	"repro/internal/node"
+	"repro/internal/pubsub"
+	"repro/internal/rta"
+)
+
+// Environment is the ENVIRONMENT-INPUT hook: it is invoked at every time
+// progress with the previous and new current time and may update input
+// topics (for example, integrating plant dynamics over [prev, now] and
+// publishing fresh state estimates).
+type Environment interface {
+	Advance(prev, now time.Duration, topics *pubsub.Store) error
+}
+
+// EnvironmentFunc adapts a function to the Environment interface.
+type EnvironmentFunc func(prev, now time.Duration, topics *pubsub.Store) error
+
+// Advance implements Environment.
+func (f EnvironmentFunc) Advance(prev, now time.Duration, topics *pubsub.Store) error {
+	return f(prev, now, topics)
+}
+
+// ScheduleOrder orders the set of nodes firing at the same instant. It
+// receives the sorted firing set and returns the execution order (a
+// permutation; the executor validates it).
+type ScheduleOrder func(ct time.Duration, firing []string) []string
+
+// Switch records a decision-module mode change — a disengagement when
+// From = AC (the SC "takes over"), a re-engagement when From = SC.
+type Switch struct {
+	Time   time.Duration
+	Module string
+	From   rta.Mode
+	To     rta.Mode
+	// Coordinated marks a forced demotion through a coordinated-switching
+	// link rather than the module's own DM decision.
+	Coordinated bool
+}
+
+// InvariantViolationError reports that the Theorem 3.1 invariant φInv (or the
+// safety predicate φsafe) failed at a DM sampling instant.
+type InvariantViolationError struct {
+	Time   time.Duration
+	Module string
+	Mode   rta.Mode
+}
+
+// Error implements error.
+func (e *InvariantViolationError) Error() string {
+	return fmt.Sprintf("invariant φInv violated at t=%v in module %q (mode %v)", e.Time, e.Module, e.Mode)
+}
+
+// Config holds the executor's mutable configuration (L, OE, ct, FN, Topics).
+type Config struct {
+	Local  map[string]node.State
+	OE     map[string]bool
+	CT     time.Duration
+	FN     []string
+	Topics *pubsub.Store
+}
+
+// Option configures an Executor.
+type Option func(*Executor)
+
+// WithEnvironment installs the environment hook.
+func WithEnvironment(env Environment) Option {
+	return func(e *Executor) { e.env = env }
+}
+
+// WithScheduleOrder installs a custom same-instant execution order.
+func WithScheduleOrder(o ScheduleOrder) Option {
+	return func(e *Executor) { e.order = o }
+}
+
+// WithInvariantChecking makes the executor assert the module invariant φInv
+// and φsafe after every DM step, returning an *InvariantViolationError when
+// it fails. This is the "checked mode" used by tests and the
+// systematic-testing engine.
+func WithInvariantChecking() Option {
+	return func(e *Executor) { e.checkInv = true }
+}
+
+// WithSwitchHook registers a callback invoked on every DM mode change.
+func WithSwitchHook(fn func(Switch)) Option {
+	return func(e *Executor) { e.onSwitch = append(e.onSwitch, fn) }
+}
+
+// WithDropFilter installs a firing filter: before a node fires, drop(ct,
+// name) is consulted and, when true, the firing is skipped (the node misses
+// its deadline). This models best-effort OS scheduling; Section V-D traces
+// the 34 crashes of the endurance experiment to exactly such missed SC
+// deadlines.
+func WithDropFilter(drop func(ct time.Duration, nodeName string) bool) Option {
+	return func(e *Executor) { e.drop = drop }
+}
+
+// Executor runs an RTA system.
+type Executor struct {
+	sys *rta.System
+	cal *calendar.Calendar
+	cfg Config
+
+	env      Environment
+	order    ScheduleOrder
+	drop     func(time.Duration, string) bool
+	checkInv bool
+	onSwitch []func(Switch)
+
+	switches []Switch
+	steps    uint64
+}
+
+// New creates an executor for the system with the given extra environment
+// topics (topics read by nodes but produced by no node must be declared so
+// the store knows them; defaults supply their initial values).
+func New(sys *rta.System, envTopics []pubsub.Topic, opts ...Option) (*Executor, error) {
+	if sys == nil {
+		return nil, errors.New("nil system")
+	}
+	cal, err := sys.Calendar()
+	if err != nil {
+		return nil, err
+	}
+
+	declared := make(map[pubsub.TopicName]bool, len(envTopics))
+	topics := make([]pubsub.Topic, 0, len(envTopics))
+	for _, t := range envTopics {
+		if declared[t.Name] {
+			return nil, fmt.Errorf("duplicate environment topic %q", t.Name)
+		}
+		declared[t.Name] = true
+		topics = append(topics, t)
+	}
+	for _, t := range sys.Topics() {
+		if !declared[t] {
+			declared[t] = true
+			topics = append(topics, pubsub.Topic{Name: t})
+		}
+	}
+	store, err := pubsub.NewStore(topics...)
+	if err != nil {
+		return nil, fmt.Errorf("topic store: %w", err)
+	}
+
+	e := &Executor{
+		sys: sys,
+		cal: cal,
+		cfg: Config{
+			Local:  make(map[string]node.State),
+			OE:     make(map[string]bool),
+			Topics: store,
+		},
+	}
+	// Initial configuration: L0 = init states (mode = SC for DMs); OE0
+	// enables every SC and disables every AC; ct0 = 0; FN0 = ∅.
+	for _, name := range sys.NodeNames() {
+		n, _ := sys.Node(name)
+		e.cfg.Local[name] = n.InitState()
+	}
+	for dm, ac := range sys.ACNodes() {
+		e.cfg.OE[ac] = false
+		e.cfg.OE[sys.SCNodes()[dm]] = true
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e, nil
+}
+
+// Now returns the current time ct.
+func (e *Executor) Now() time.Duration { return e.cfg.CT }
+
+// Topics returns the global topic store.
+func (e *Executor) Topics() *pubsub.Store { return e.cfg.Topics }
+
+// Mode returns the current mode of the named module.
+func (e *Executor) Mode(moduleName string) (rta.Mode, error) {
+	for _, m := range e.sys.Modules() {
+		if m.Name() == moduleName {
+			mode, ok := e.cfg.Local[m.DM().Name()].(rta.Mode)
+			if !ok {
+				return 0, fmt.Errorf("module %q: DM state has type %T", moduleName, e.cfg.Local[m.DM().Name()])
+			}
+			return mode, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown module %q", moduleName)
+}
+
+// OutputEnabled reports whether the named controller node's outputs are
+// currently enabled; plain nodes are always enabled.
+func (e *Executor) OutputEnabled(nodeName string) bool {
+	en, tracked := e.cfg.OE[nodeName]
+	return !tracked || en
+}
+
+// Switches returns all recorded mode switches so far.
+func (e *Executor) Switches() []Switch {
+	out := make([]Switch, len(e.switches))
+	copy(out, e.switches)
+	return out
+}
+
+// Steps returns the number of discrete node firings executed.
+func (e *Executor) Steps() uint64 { return e.steps }
+
+// LocalState returns the local state of a node (for inspection by tests and
+// the systematic-testing engine).
+func (e *Executor) LocalState(nodeName string) (node.State, bool) {
+	st, ok := e.cfg.Local[nodeName]
+	return st, ok
+}
+
+// Step applies one transition of the operational semantics: a time progress
+// when FN is empty, otherwise the firing of the next node in FN. It returns
+// false when the calendar is empty (no further transitions exist).
+func (e *Executor) Step() (bool, error) {
+	if len(e.cfg.FN) == 0 {
+		return e.timeProgress()
+	}
+	name := e.cfg.FN[0]
+	e.cfg.FN = e.cfg.FN[1:]
+	if e.drop != nil && e.drop(e.cfg.CT, name) {
+		return true, nil // firing skipped: missed deadline
+	}
+	if err := e.fire(name); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RunUntil advances the system until ct would exceed deadline. All firings
+// at instants ≤ deadline are executed.
+func (e *Executor) RunUntil(deadline time.Duration) error {
+	for {
+		if len(e.cfg.FN) == 0 {
+			next, _, ok := e.cal.NextTime(e.cfg.CT)
+			if !ok || next > deadline {
+				return nil
+			}
+		}
+		if _, err := e.Step(); err != nil {
+			return err
+		}
+	}
+}
+
+// timeProgress implements DISCRETE-TIME-PROGRESS-STEP plus the environment
+// hook.
+func (e *Executor) timeProgress() (bool, error) {
+	next, firing, ok := e.cal.NextTime(e.cfg.CT)
+	if !ok {
+		return false, nil
+	}
+	prev := e.cfg.CT
+	e.cfg.CT = next
+	if e.env != nil {
+		if err := e.env.Advance(prev, next, e.cfg.Topics); err != nil {
+			return false, fmt.Errorf("environment at t=%v: %w", next, err)
+		}
+	}
+	e.cfg.FN = e.orderFiring(next, firing)
+	return true, nil
+}
+
+// orderFiring arranges same-instant firings: decision modules first (so OE
+// reflects the freshest mode before controllers publish), then the rest,
+// both alphabetically — unless a custom order is installed.
+func (e *Executor) orderFiring(ct time.Duration, firing []string) []string {
+	if e.order != nil {
+		ordered := e.order(ct, firing)
+		if validPermutation(firing, ordered) {
+			return ordered
+		}
+		// An invalid permutation from a custom scheduler falls back to the
+		// default order rather than corrupting the run.
+	}
+	dms := make([]string, 0, len(firing))
+	rest := make([]string, 0, len(firing))
+	for _, n := range firing {
+		if _, isDM := e.sys.IsDM(n); isDM {
+			dms = append(dms, n)
+		} else {
+			rest = append(rest, n)
+		}
+	}
+	return append(dms, rest...)
+}
+
+// fire executes DM-STEP or AC-OR-SC-STEP for the named node.
+func (e *Executor) fire(name string) error {
+	n, ok := e.sys.Node(name)
+	if !ok {
+		return fmt.Errorf("firing unknown node %q", name)
+	}
+	e.steps++
+	in, err := e.cfg.Topics.Read(n.Inputs())
+	if err != nil {
+		return fmt.Errorf("node %q inputs: %w", name, err)
+	}
+
+	if m, isDM := e.sys.IsDM(name); isDM {
+		return e.fireDM(m, n, in)
+	}
+
+	// AC-OR-SC-STEP: the node steps; outputs are written only when enabled.
+	next, out, err := n.Step(e.cfg.Local[name], in)
+	if err != nil {
+		return err
+	}
+	e.cfg.Local[name] = next
+	if e.OutputEnabled(name) {
+		if err := e.cfg.Topics.Write(out); err != nil {
+			return fmt.Errorf("node %q outputs: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// fireDM executes DM-STEP: update the mode from the switching logic and flip
+// the output-enable entries of the controlled AC and SC (dm1, dm2).
+func (e *Executor) fireDM(m *rta.Module, dmNode *node.Node, in pubsub.Valuation) error {
+	prev, ok := e.cfg.Local[dmNode.Name()].(rta.Mode)
+	if !ok {
+		return fmt.Errorf("DM %q: local state has type %T, want rta.Mode", dmNode.Name(), e.cfg.Local[dmNode.Name()])
+	}
+	next, _, err := dmNode.Step(prev, in)
+	if err != nil {
+		return err
+	}
+	mode, ok := next.(rta.Mode)
+	if !ok {
+		return fmt.Errorf("DM %q: step returned state of type %T, want rta.Mode", dmNode.Name(), next)
+	}
+	e.cfg.Local[dmNode.Name()] = mode
+	enAC := mode == rta.ModeAC
+	e.cfg.OE[m.AC().Name()] = enAC
+	e.cfg.OE[m.SC().Name()] = !enAC
+
+	if mode != prev {
+		sw := Switch{Time: e.cfg.CT, Module: m.Name(), From: prev, To: mode}
+		e.switches = append(e.switches, sw)
+		for _, fn := range e.onSwitch {
+			fn(sw)
+		}
+		// Coordinated switching (Section VII): a disengagement demotes the
+		// coordinated partner modules to SC immediately.
+		if mode == rta.ModeSC {
+			e.forceCoordinated(m)
+		}
+	}
+	if e.checkInv {
+		if !m.SafeHolds(in) || !m.InvariantHolds(mode, in) {
+			return &InvariantViolationError{Time: e.cfg.CT, Module: m.Name(), Mode: mode}
+		}
+	}
+	return nil
+}
+
+// forceCoordinated demotes every module coordinated with the trigger to SC
+// mode, updating their DM state and output enables and recording the forced
+// switches.
+func (e *Executor) forceCoordinated(trigger *rta.Module) {
+	for _, partner := range e.sys.CoordinatedWith(trigger.Name()) {
+		dmName := partner.DM().Name()
+		prev, ok := e.cfg.Local[dmName].(rta.Mode)
+		if !ok || prev == rta.ModeSC {
+			continue
+		}
+		e.cfg.Local[dmName] = rta.ModeSC
+		e.cfg.OE[partner.AC().Name()] = false
+		e.cfg.OE[partner.SC().Name()] = true
+		sw := Switch{
+			Time:        e.cfg.CT,
+			Module:      partner.Name(),
+			From:        prev,
+			To:          rta.ModeSC,
+			Coordinated: true,
+		}
+		e.switches = append(e.switches, sw)
+		for _, fn := range e.onSwitch {
+			fn(sw)
+		}
+	}
+}
+
+func validPermutation(orig, perm []string) bool {
+	if len(orig) != len(perm) {
+		return false
+	}
+	count := make(map[string]int, len(orig))
+	for _, s := range orig {
+		count[s]++
+	}
+	for _, s := range perm {
+		count[s]--
+		if count[s] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,467 @@
+package runtime
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/pubsub"
+	"repro/internal/rta"
+)
+
+// counterNode publishes an incrementing counter on out every period.
+func counterNode(t *testing.T, name string, period time.Duration, out pubsub.TopicName) *node.Node {
+	t.Helper()
+	n, err := node.New(name, period, nil, []pubsub.TopicName{out},
+		func(st node.State, _ pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+			c, _ := st.(int)
+			return c + 1, pubsub.Valuation{out: c + 1}, nil
+		},
+		node.WithInit(func() node.State { return 0 }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// echoNode copies its input topic to its output topic.
+func echoNode(t *testing.T, name string, period time.Duration, in, out pubsub.TopicName) *node.Node {
+	t.Helper()
+	n, err := node.New(name, period, []pubsub.TopicName{in}, []pubsub.TopicName{out},
+		func(st node.State, v pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+			return st, pubsub.Valuation{out: v[in]}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// testModule builds an RTA module over a shared "x" topic where AC writes
+// "AC" and SC writes "SC" on topic "who", switching on the boolean topic
+// "danger" (ttf) and "calm" (safer).
+func testModule(t *testing.T, delta time.Duration) *rta.Module {
+	t.Helper()
+	mk := func(name, val string) *node.Node {
+		n, err := node.New(name, delta, []pubsub.TopicName{"danger", "calm"}, []pubsub.TopicName{"who"},
+			func(st node.State, _ pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+				return st, pubsub.Valuation{"who": val}, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	boolTopic := func(v pubsub.Valuation, name pubsub.TopicName) bool {
+		b, _ := v[name].(bool)
+		return b
+	}
+	m, err := rta.NewModule(rta.Decl{
+		Name:      "tm",
+		AC:        mk("tm.ac", "AC"),
+		SC:        mk("tm.sc", "SC"),
+		Delta:     delta,
+		TTF2Delta: func(v pubsub.Valuation) bool { return boolTopic(v, "danger") },
+		InSafer:   func(v pubsub.Valuation) bool { return boolTopic(v, "calm") },
+		Safe:      func(v pubsub.Valuation) bool { return !boolTopic(v, "crashed") },
+		Monitored: []pubsub.TopicName{"danger", "calm", "crashed"},
+		DMPhase:   delta, // decide at Δ, 2Δ, ... for easy reasoning in tests
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func newTestExec(t *testing.T, m *rta.Module, opts ...Option) *Executor {
+	t.Helper()
+	sys, err := rta.NewSystem([]*rta.Module{m}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := New(sys, []pubsub.Topic{
+		{Name: "danger", Default: false},
+		{Name: "calm", Default: false},
+		{Name: "crashed", Default: false},
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exec
+}
+
+func TestInitialConfiguration(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	exec := newTestExec(t, m)
+	// OE0: SC enabled, AC disabled; mode = SC; ct = 0.
+	if exec.OutputEnabled("tm.ac") {
+		t.Error("AC output must start disabled")
+	}
+	if !exec.OutputEnabled("tm.sc") {
+		t.Error("SC output must start enabled")
+	}
+	mode, err := exec.Mode("tm")
+	if err != nil || mode != rta.ModeSC {
+		t.Errorf("initial mode = %v, %v", mode, err)
+	}
+	if exec.Now() != 0 {
+		t.Errorf("ct0 = %v", exec.Now())
+	}
+}
+
+func TestOutputGating(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	exec := newTestExec(t, m)
+	// At t=100ms: DM fires first (mode stays SC since calm=false), then both
+	// controllers fire; only SC's output lands on the topic.
+	if err := exec.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := exec.Topics().Get("who"); v != "SC" {
+		t.Errorf("who = %v, want SC", v)
+	}
+	// Signal calm: at the next DM tick the mode flips to AC, whose output
+	// takes over.
+	if err := exec.Topics().Set("calm", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.RunUntil(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if mode, _ := exec.Mode("tm"); mode != rta.ModeAC {
+		t.Errorf("mode = %v, want AC", mode)
+	}
+	if v, _ := exec.Topics().Get("who"); v != "AC" {
+		t.Errorf("who = %v, want AC", v)
+	}
+	// Danger: the DM switches back to SC.
+	if err := exec.Topics().Set("danger", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.RunUntil(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := exec.Topics().Get("who"); v != "SC" {
+		t.Errorf("who after danger = %v, want SC", v)
+	}
+	// Switches were recorded in order.
+	sw := exec.Switches()
+	if len(sw) != 2 || sw[0].To != rta.ModeAC || sw[1].To != rta.ModeSC {
+		t.Errorf("switches = %v", sw)
+	}
+}
+
+func TestSwitchHook(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	var got []Switch
+	exec := newTestExec(t, m, WithSwitchHook(func(s Switch) { got = append(got, s) }))
+	if err := exec.Topics().Set("calm", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.RunUntil(150 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Module != "tm" || got[0].From != rta.ModeSC || got[0].To != rta.ModeAC {
+		t.Errorf("hook switches = %v", got)
+	}
+	if got[0].Time != 100*time.Millisecond {
+		t.Errorf("switch time = %v", got[0].Time)
+	}
+}
+
+func TestInvariantChecking(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	exec := newTestExec(t, m, WithInvariantChecking())
+	if err := exec.Topics().Set("crashed", true); err != nil {
+		t.Fatal(err)
+	}
+	err := exec.RunUntil(time.Second)
+	var iv *InvariantViolationError
+	if !errors.As(err, &iv) {
+		t.Fatalf("RunUntil = %v, want InvariantViolationError", err)
+	}
+	if iv.Module != "tm" || iv.Time != 100*time.Millisecond {
+		t.Errorf("violation = %+v", iv)
+	}
+}
+
+func TestEnvironmentAdvance(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	var calls []time.Duration
+	env := EnvironmentFunc(func(prev, now time.Duration, topics *pubsub.Store) error {
+		calls = append(calls, now)
+		return topics.Set("danger", false)
+	})
+	exec := newTestExec(t, m, WithEnvironment(env))
+	if err := exec.RunUntil(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// The environment is invoked at every time progress: 100ms and 200ms.
+	if !reflect.DeepEqual(calls, []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}) {
+		t.Errorf("env calls = %v", calls)
+	}
+}
+
+func TestEnvironmentErrorPropagates(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	boom := errors.New("plant exploded")
+	exec := newTestExec(t, m, WithEnvironment(EnvironmentFunc(
+		func(prev, now time.Duration, topics *pubsub.Store) error { return boom })))
+	if err := exec.RunUntil(time.Second); !errors.Is(err, boom) {
+		t.Errorf("RunUntil = %v", err)
+	}
+}
+
+func TestDropFilter(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	// Drop every SC firing: the topic never gets SC's value even though SC
+	// is the enabled controller.
+	exec := newTestExec(t, m, WithDropFilter(func(_ time.Duration, name string) bool {
+		return name == "tm.sc"
+	}))
+	if err := exec.RunUntil(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := exec.Topics().Get("who"); v != nil {
+		t.Errorf("who = %v, want nil (SC never scheduled)", v)
+	}
+}
+
+func TestDMFiresBeforeControllers(t *testing.T) {
+	// All nodes share the same instants. The DM's decision at time t must
+	// gate the controllers firing at the same t.
+	m := testModule(t, 100*time.Millisecond)
+	exec := newTestExec(t, m)
+	if err := exec.Topics().Set("calm", true); err != nil {
+		t.Fatal(err)
+	}
+	// At t=100ms: DM flips to AC first; then AC (enabled) publishes.
+	if err := exec.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := exec.Topics().Get("who"); v != "AC" {
+		t.Errorf("who = %v: DM decision did not precede controllers", v)
+	}
+}
+
+func TestScheduleOrderOverride(t *testing.T) {
+	// A custom order can force controllers before the DM, and an invalid
+	// permutation falls back to the default.
+	m := testModule(t, 100*time.Millisecond)
+	dmLast := func(_ time.Duration, firing []string) []string {
+		return []string{"tm.ac", "tm.sc", "tm.dm"}
+	}
+	exec := newTestExec(t, m, WithScheduleOrder(dmLast))
+	if err := exec.Topics().Set("calm", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// DM last: AC fires while still disabled (no write), SC fires enabled
+	// (who=SC), then the DM flips to AC — too late to matter this instant.
+	if v, _ := exec.Topics().Get("who"); v != "SC" {
+		t.Errorf("who = %v, want SC when the DM decides last", v)
+	}
+
+	bogus := func(_ time.Duration, firing []string) []string { return []string{"nope"} }
+	exec2 := newTestExec(t, m, WithScheduleOrder(bogus))
+	if err := exec2.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatalf("invalid permutation should fall back, got %v", err)
+	}
+}
+
+func TestPlainNodesAlwaysEnabled(t *testing.T) {
+	cnt := counterNode(t, "cnt", 50*time.Millisecond, "ticks")
+	echo := echoNode(t, "echo", 50*time.Millisecond, "ticks", "echoed")
+	sys, err := rta.NewSystem(nil, []*node.Node{cnt, echo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := New(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.RunUntil(250 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := exec.Topics().Get("ticks")
+	if v.(int) != 5 {
+		t.Errorf("ticks = %v, want 5", v)
+	}
+	// echo lags by zero or one tick depending on alphabetical order; "cnt"
+	// fires before "echo", so echo sees the fresh value.
+	ev, _ := exec.Topics().Get("echoed")
+	if ev.(int) != 5 {
+		t.Errorf("echoed = %v, want 5", ev)
+	}
+	if exec.Steps() != 10 {
+		t.Errorf("steps = %d, want 10", exec.Steps())
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	cnt := counterNode(t, "cnt", 30*time.Millisecond, "ticks")
+	sys, err := rta.NewSystem(nil, []*node.Node{cnt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec, err := New(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.RunUntil(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Firings at 30, 60, 90; the 120ms event exceeds the deadline.
+	if exec.Now() != 90*time.Millisecond {
+		t.Errorf("ct = %v, want 90ms", exec.Now())
+	}
+	v, _ := exec.Topics().Get("ticks")
+	if v.(int) != 3 {
+		t.Errorf("ticks = %v, want 3", v)
+	}
+}
+
+func TestNewRejectsDuplicateEnvTopic(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	sys, err := rta.NewSystem([]*rta.Module{m}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(sys, []pubsub.Topic{{Name: "danger"}, {Name: "danger"}})
+	if err == nil {
+		t.Error("expected error for duplicate environment topic")
+	}
+	if _, err := New(nil, nil); err == nil {
+		t.Error("expected error for nil system")
+	}
+}
+
+func TestModeUnknownModule(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	exec := newTestExec(t, m)
+	if _, err := exec.Mode("ghost"); err == nil {
+		t.Error("expected error for unknown module")
+	}
+}
+
+func TestCoordinatedSwitching(t *testing.T) {
+	// Two modules on disjoint topics; a coordination link from A to B. When
+	// A's DM disengages, B is demoted in the same instant without its own
+	// DM having decided anything.
+	mkMod := func(name, prefix string) *rta.Module {
+		dangerT := pubsub.TopicName(prefix + "/danger")
+		calmT := pubsub.TopicName(prefix + "/calm")
+		outT := pubsub.TopicName(prefix + "/cmd")
+		mk := func(nn string) *node.Node {
+			n, err := node.New(nn, 100*time.Millisecond,
+				[]pubsub.TopicName{dangerT, calmT}, []pubsub.TopicName{outT},
+				func(st node.State, _ pubsub.Valuation) (node.State, pubsub.Valuation, error) {
+					return st, nil, nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return n
+		}
+		m, err := rta.NewModule(rta.Decl{
+			Name:  name,
+			AC:    mk(name + ".ac"),
+			SC:    mk(name + ".sc"),
+			Delta: 100 * time.Millisecond,
+			TTF2Delta: func(v pubsub.Valuation) bool {
+				b, _ := v[dangerT].(bool)
+				return b
+			},
+			InSafer: func(v pubsub.Valuation) bool {
+				b, _ := v[calmT].(bool)
+				return b
+			},
+			DMPhase: 100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ma := mkMod("A", "a")
+	mb := mkMod("B", "b")
+	sys, err := rta.NewSystem([]*rta.Module{ma, mb}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.AddCoordination("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	// Link validation.
+	if err := sys.AddCoordination("A", "B"); err == nil {
+		t.Error("duplicate coordination accepted")
+	}
+	if err := sys.AddCoordination("A", "A"); err == nil {
+		t.Error("self coordination accepted")
+	}
+	if err := sys.AddCoordination("A", "ghost"); err == nil {
+		t.Error("unknown module accepted")
+	}
+
+	exec, err := New(sys, []pubsub.Topic{
+		{Name: "a/danger", Default: false}, {Name: "a/calm", Default: true},
+		{Name: "b/danger", Default: false}, {Name: "b/calm", Default: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both modules engage their ACs at the first DM tick (calm).
+	if err := exec.RunUntil(150 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"A", "B"} {
+		if mode, _ := exec.Mode(m); mode != rta.ModeAC {
+			t.Fatalf("module %s mode = %v, want AC", m, mode)
+		}
+	}
+	// Danger for A only; B's own predicates stay calm, but the coordination
+	// link must demote it anyway.
+	if err := exec.Topics().Set("a/danger", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Topics().Set("b/calm", false); err != nil {
+		t.Fatal(err) // keep B from instantly re-engaging
+	}
+	if err := exec.RunUntil(250 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if mode, _ := exec.Mode("A"); mode != rta.ModeSC {
+		t.Errorf("A mode = %v, want SC", mode)
+	}
+	if mode, _ := exec.Mode("B"); mode != rta.ModeSC {
+		t.Errorf("B mode = %v, want SC (coordinated)", mode)
+	}
+	if !exec.OutputEnabled("B.sc") || exec.OutputEnabled("B.ac") {
+		t.Error("coordinated demotion did not flip B's output enables")
+	}
+	var forced *Switch
+	for i := range exec.Switches() {
+		sw := exec.Switches()[i]
+		if sw.Module == "B" && sw.Coordinated {
+			forced = &sw
+			break
+		}
+	}
+	if forced == nil {
+		t.Fatal("no coordinated switch recorded for B")
+	}
+	// B re-engages through its own DM once calm again.
+	if err := exec.Topics().Set("b/calm", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.RunUntil(350 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if mode, _ := exec.Mode("B"); mode != rta.ModeAC {
+		t.Errorf("B did not re-engage after coordination: %v", mode)
+	}
+}

@@ -1,0 +1,11 @@
+package sim
+
+import (
+	"repro/internal/geom"
+	"repro/internal/plant"
+)
+
+// initialAt builds a hovering initial state at p with a full battery.
+func initialAt(p geom.Vec3) plant.State {
+	return plant.State{Pos: p, Battery: 1}
+}

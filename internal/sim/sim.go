@@ -1,0 +1,465 @@
+// Package sim closes the loop between an RTA system built by
+// internal/mission and the drone plant: it implements the runtime's
+// Environment hook (integrating the dynamics between discrete events and
+// publishing the trusted state estimate) and collects the metrics the
+// paper's evaluation reports — disengagements, crashes, distance flown,
+// AC-control time fraction, mission timing.
+//
+// It also models the best-effort OS scheduling the paper identifies as the
+// cause of the endurance experiment's crashes ("the DM node did switch
+// control, but the SC node was not scheduled in time"): with scheduler
+// jitter enabled, node firings are randomly dropped, reproducing both the
+// crashes and their disappearance on an RTOS (zero jitter).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/plant"
+	"repro/internal/pubsub"
+	"repro/internal/rta"
+	"repro/internal/runtime"
+)
+
+// TrajectoryPoint is one sample of the flown trajectory.
+type TrajectoryPoint struct {
+	T    time.Duration
+	Pos  geom.Vec3
+	Vel  geom.Vec3
+	Mode rta.Mode // motion-primitive module mode (ModeAC when unprotected)
+}
+
+// ModuleStats aggregates per-module switching statistics.
+type ModuleStats struct {
+	// Disengagements counts AC→SC switches (the SC "taking over").
+	Disengagements int
+	// Reengagements counts SC→AC switches (performance restored).
+	Reengagements int
+	// ACTime and SCTime accumulate wall-clock time spent in each mode.
+	ACTime, SCTime time.Duration
+}
+
+// ACFraction returns the fraction of time the module ran its AC.
+func (m ModuleStats) ACFraction() float64 {
+	total := m.ACTime + m.SCTime
+	if total == 0 {
+		return 0
+	}
+	return float64(m.ACTime) / float64(total)
+}
+
+// Metrics summarises one simulation run.
+type Metrics struct {
+	Duration      time.Duration
+	DistanceFlown float64
+	Crashed       bool
+	CrashTime     time.Duration
+	CrashPos      geom.Vec3
+	Landed        bool
+	LandTime      time.Duration
+	MinClearance  float64
+	// Collisions counts distinct collision episodes (entries into an
+	// obstacle or the ground); with KeepFlyingAfterCrash the run continues
+	// through them, which is how the unprotected baselines are scored.
+	Collisions     int
+	TargetsVisited int
+	BatteryAtEnd   float64
+	// Modules maps module name to its switching statistics.
+	Modules map[string]ModuleStats
+	// DroppedFirings counts node firings skipped by scheduler jitter.
+	DroppedFirings int
+	// InvariantViolations counts φInv monitor failures (checked mode).
+	InvariantViolations int
+}
+
+// TotalDisengagements sums disengagements across modules.
+func (m Metrics) TotalDisengagements() int {
+	n := 0
+	for _, s := range m.Modules {
+		n += s.Disengagements
+	}
+	return n
+}
+
+// RunConfig configures a closed-loop run.
+type RunConfig struct {
+	// Stack is the system under test.
+	Stack *mission.Stack
+	// Initial is the drone's initial state; Battery defaults to 1.
+	Initial plant.State
+	// Duration is how long to simulate.
+	Duration time.Duration
+	// PhysicsStep is the plant integration sub-step (default 5ms).
+	PhysicsStep time.Duration
+	// Seed drives sensor noise and scheduler jitter.
+	Seed int64
+	// JitterProb is the per-firing probability that a node enters a
+	// scheduling outage (a burst of missed deadlines, 200-600 ms long) —
+	// zero models an RTOS, positive values model the best-effort scheduling
+	// of Section V-D, whose crashes the paper traces to "the SC node was
+	// not scheduled in time for the system to recover".
+	JitterProb float64
+	// JitterSCOnly restricts outages to SC and DM nodes, the failure mode
+	// the paper observed.
+	JitterSCOnly bool
+	// CheckInvariants enables the runtime φInv monitor; violations are
+	// counted rather than aborting the run.
+	CheckInvariants bool
+	// RecordTrajectory enables trajectory sampling (costly for long runs).
+	RecordTrajectory bool
+	// KeepFlyingAfterCrash continues the run through collisions, counting
+	// episodes instead of stopping at the first (used by the unprotected
+	// baselines of Figure 12a).
+	KeepFlyingAfterCrash bool
+	// StopAfterVisits ends the run once the surveillance app has visited
+	// this many targets (0 = run to Duration) — used by the tour-timing
+	// experiment.
+	StopAfterVisits int
+}
+
+// Result bundles metrics with the optional trajectory and the executor's
+// switch log.
+type Result struct {
+	Metrics    Metrics
+	Trajectory []TrajectoryPoint
+	Switches   []runtime.Switch
+}
+
+// environment integrates the plant between discrete events and publishes the
+// state estimate; it also detects ground contact (landing vs crash).
+type environment struct {
+	drone   *plant.Drone
+	ws      *geom.Workspace
+	state   plant.State
+	step    time.Duration
+	run     *runner
+	groundZ float64
+}
+
+func (e *environment) Advance(prev, now time.Duration, topics *pubsub.Store) error {
+	for t := prev; t < now; {
+		dt := e.step
+		if t+dt > now {
+			dt = now - t
+		}
+		cmd := geom.Vec3{}
+		if raw, err := topics.Get(mission.TopicCmd); err == nil && raw != nil {
+			if v, ok := raw.(geom.Vec3); ok {
+				cmd = v
+			}
+		}
+		before := e.state
+		e.state = e.drone.Step(e.state, cmd, dt)
+		t += dt
+		e.run.observe(t, before, e.state, topics)
+		if e.run.crashed && !e.run.cfg.KeepFlyingAfterCrash {
+			break
+		}
+	}
+	return topics.Set(mission.TopicDroneState, e.drone.Observe(e.state))
+}
+
+// runner owns the mutable run bookkeeping.
+type runner struct {
+	cfg         RunConfig
+	ws          *geom.Workspace
+	metrics     Metrics
+	crashed     bool
+	inCollision bool
+	traj        []TrajectoryPoint
+	lastPos     geom.Vec3
+	havePos     bool
+	rng         *rand.Rand
+	// outageUntil tracks per-node scheduling outages (jitter model).
+	outageUntil map[string]time.Duration
+	// mode tracking for AC-time accounting
+	modeSince map[string]time.Duration
+	modeNow   map[string]rta.Mode
+	exec      *runtime.Executor
+	env       *environment
+	trajEvery time.Duration
+	trajLast  time.Duration
+}
+
+// observe is called after every physics sub-step.
+func (r *runner) observe(t time.Duration, before, after plant.State, topics *pubsub.Store) {
+	if r.havePos {
+		r.metrics.DistanceFlown += after.Pos.Dist(r.lastPos)
+	}
+	r.lastPos = after.Pos
+	r.havePos = true
+
+	if c := r.ws.Clearance(after.Pos); !after.Landed && (r.metrics.MinClearance == 0 || c < r.metrics.MinClearance) {
+		r.metrics.MinClearance = c
+	}
+
+	// Ground contact: intended landing vs crash.
+	if !after.Landed && after.Pos.Z <= 0 {
+		if wpRaw, err := topics.Get(mission.TopicWaypoint); err == nil && wpRaw != nil {
+			if wp, ok := wpRaw.(mission.Waypoint); ok && wp.Valid && wp.Land && after.Vel.Norm() < 1.0 {
+				r.env.state = plant.Land(after)
+				r.markLanded(t)
+				return
+			}
+		}
+		r.markCrash(t, after.Pos)
+		return
+	}
+	// Intentional touchdown above ground level.
+	if !after.Landed {
+		if wpRaw, err := topics.Get(mission.TopicWaypoint); err == nil && wpRaw != nil {
+			if wp, ok := wpRaw.(mission.Waypoint); ok && wp.Valid && wp.Land &&
+				after.Pos.Z <= r.env.groundZ && after.Vel.Norm() < 1.2 {
+				r.env.state = plant.Land(after)
+				r.markLanded(t)
+				return
+			}
+		}
+	}
+	if plant.Crashed(after, r.ws) {
+		r.markCrash(t, after.Pos)
+	} else {
+		r.inCollision = false
+	}
+}
+
+func (r *runner) markCrash(t time.Duration, pos geom.Vec3) {
+	if !r.inCollision {
+		r.inCollision = true
+		r.metrics.Collisions++
+	}
+	if r.crashed {
+		return
+	}
+	r.crashed = true
+	r.metrics.Crashed = true
+	r.metrics.CrashTime = t
+	r.metrics.CrashPos = pos
+}
+
+func (r *runner) markLanded(t time.Duration) {
+	if !r.metrics.Landed {
+		r.metrics.Landed = true
+		r.metrics.LandTime = t
+	}
+}
+
+// Run executes one closed-loop simulation.
+func Run(cfg RunConfig) (*Result, error) {
+	if cfg.Stack == nil {
+		return nil, fmt.Errorf("sim: nil stack")
+	}
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("sim: duration %v must be positive", cfg.Duration)
+	}
+	if cfg.PhysicsStep <= 0 {
+		cfg.PhysicsStep = 5 * time.Millisecond
+	}
+	if cfg.Initial.Battery == 0 {
+		cfg.Initial.Battery = 1
+	}
+	ws := cfg.Stack.Config.Workspace
+	drone, err := plant.NewDrone(cfg.Stack.Config.PlantParams, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	r := &runner{
+		cfg:         cfg,
+		ws:          ws,
+		rng:         rand.New(rand.NewSource(cfg.Seed + 7)),
+		outageUntil: make(map[string]time.Duration),
+		modeSince:   make(map[string]time.Duration),
+		modeNow:     make(map[string]rta.Mode),
+		trajEvery:   50 * time.Millisecond,
+	}
+	r.metrics.Modules = make(map[string]ModuleStats)
+	env := &environment{
+		drone:   drone,
+		ws:      ws,
+		state:   cfg.Initial,
+		step:    cfg.PhysicsStep,
+		run:     r,
+		groundZ: drone.Params().GroundZ,
+	}
+	r.env = env
+
+	opts := []runtime.Option{
+		runtime.WithEnvironment(env),
+		runtime.WithSwitchHook(r.onSwitch),
+	}
+	if cfg.JitterProb > 0 {
+		opts = append(opts, runtime.WithDropFilter(r.dropFilter))
+	}
+	exec, err := runtime.New(
+		cfg.Stack.System,
+		[]pubsub.Topic{{Name: mission.TopicDroneState, Default: cfg.Initial}},
+		opts...,
+	)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	r.exec = exec
+	for _, m := range cfg.Stack.System.Modules() {
+		r.modeNow[m.Name()] = rta.ModeSC
+		r.modeSince[m.Name()] = 0
+	}
+
+	// Main loop: run until the deadline, a crash, or touchdown.
+	deadline := cfg.Duration
+	for exec.Now() < deadline {
+		if r.crashed && !cfg.KeepFlyingAfterCrash {
+			break
+		}
+		if r.metrics.Landed {
+			break
+		}
+		if cfg.StopAfterVisits > 0 && visitsSoFar(exec, cfg.Stack) >= cfg.StopAfterVisits {
+			break
+		}
+		stepUntil := exec.Now() + 100*time.Millisecond
+		if stepUntil > deadline {
+			stepUntil = deadline
+		}
+		if err := runSlice(exec, stepUntil, r, cfg); err != nil {
+			return nil, err
+		}
+		r.sampleTrajectory()
+	}
+
+	end := exec.Now()
+	r.metrics.Duration = end
+	r.metrics.BatteryAtEnd = env.state.Battery
+	for name, since := range r.modeSince {
+		r.accountMode(name, since, end, r.modeNow[name])
+	}
+	if cfg.Stack.AppNode != nil {
+		if st, ok := exec.LocalState(cfg.Stack.AppNode.Name()); ok {
+			if visits, ok := mission.VisitsOf(st); ok {
+				r.metrics.TargetsVisited = visits
+			}
+		}
+	}
+	res := &Result{
+		Metrics:    r.metrics,
+		Trajectory: r.traj,
+		Switches:   exec.Switches(),
+	}
+	return res, nil
+}
+
+// runSlice advances the executor, tolerating (and counting) invariant
+// violations when configured to monitor rather than abort.
+func runSlice(exec *runtime.Executor, until time.Duration, r *runner, cfg RunConfig) error {
+	if !cfg.CheckInvariants {
+		return exec.RunUntil(until)
+	}
+	for {
+		err := exec.RunUntil(until)
+		if err == nil {
+			return nil
+		}
+		var iv *runtime.InvariantViolationError
+		if asInvariantViolation(err, &iv) {
+			r.metrics.InvariantViolations++
+			continue
+		}
+		return err
+	}
+}
+
+func asInvariantViolation(err error, target **runtime.InvariantViolationError) bool {
+	return errors.As(err, target)
+}
+
+// visitsSoFar reads the surveillance app's visit counter mid-run.
+func visitsSoFar(exec *runtime.Executor, st *mission.Stack) int {
+	if st.AppNode == nil {
+		return 0
+	}
+	raw, ok := exec.LocalState(st.AppNode.Name())
+	if !ok {
+		return 0
+	}
+	v, _ := mission.VisitsOf(raw)
+	return v
+}
+
+func (r *runner) onSwitch(sw runtime.Switch) {
+	stats := r.metrics.Modules[sw.Module]
+	if sw.To == rta.ModeSC {
+		stats.Disengagements++
+	} else {
+		stats.Reengagements++
+	}
+	r.metrics.Modules[sw.Module] = stats
+	r.accountMode(sw.Module, r.modeSince[sw.Module], sw.Time, sw.From)
+	r.modeSince[sw.Module] = sw.Time
+	r.modeNow[sw.Module] = sw.To
+}
+
+func (r *runner) accountMode(module string, from, to time.Duration, mode rta.Mode) {
+	if to <= from {
+		return
+	}
+	stats := r.metrics.Modules[module]
+	if mode == rta.ModeAC {
+		stats.ACTime += to - from
+	} else {
+		stats.SCTime += to - from
+	}
+	r.metrics.Modules[module] = stats
+}
+
+// dropFilter models best-effort scheduling as burst outages: with
+// probability JitterProb a firing starts an outage of 200-600 ms during
+// which every firing of that node is dropped. A burst hitting the SC right
+// after a disengagement reproduces the paper's crash mode.
+func (r *runner) dropFilter(ct time.Duration, name string) bool {
+	if r.cfg.JitterSCOnly {
+		if _, isDM := r.cfg.Stack.System.IsDM(name); !isDM {
+			if _, isAC, ok := r.cfg.Stack.System.ControllerOf(name); !ok || isAC {
+				return false
+			}
+		}
+	}
+	if until, out := r.outageUntil[name]; out && ct < until {
+		r.metrics.DroppedFirings++
+		return true
+	}
+	if r.rng.Float64() < r.cfg.JitterProb {
+		dur := 200*time.Millisecond + time.Duration(r.rng.Int63n(int64(400*time.Millisecond)))
+		r.outageUntil[name] = ct + dur
+		r.metrics.DroppedFirings++
+		return true
+	}
+	return false
+}
+
+func (r *runner) sampleTrajectory() {
+	if !r.cfg.RecordTrajectory {
+		return
+	}
+	now := r.exec.Now()
+	if now-r.trajLast < r.trajEvery && len(r.traj) > 0 {
+		return
+	}
+	r.trajLast = now
+	mode := rta.ModeAC
+	if pm := r.cfg.Stack.PrimitiveModule; pm != nil {
+		if m, err := r.exec.Mode(pm.Name()); err == nil {
+			mode = m
+		}
+	}
+	r.traj = append(r.traj, TrajectoryPoint{
+		T:    now,
+		Pos:  r.env.state.Pos,
+		Vel:  r.env.state.Vel,
+		Mode: mode,
+	})
+}

@@ -1,0 +1,163 @@
+// Package soter is a Go reproduction of SOTER, the runtime assurance (RTA)
+// framework for programming safe robotics systems (Desai et al., DSN 2019).
+//
+// A SOTER program is a collection of periodic nodes communicating by
+// publishing on and subscribing to topics (Section II-B of the paper). Any
+// uncertified component — a third-party motion primitive, a learned
+// controller, an off-the-shelf planner — is protected by declaring an RTA
+// module: an advanced controller (AC), a certified safe controller (SC), a
+// period Δ and the safety predicates. The framework compiles the declaration
+// into a decision module (DM) that samples the monitored state every Δ and
+// switches control AC→SC when the worst-case 2Δ-reachable set can leave the
+// safe region (keeping the system provably inside φsafe, Theorem 3.1), and
+// SC→AC when the state is back in the stronger region φsafer (restoring
+// performance — the paper's extension over classic Simplex). Output-disjoint
+// modules compose, and the composite system satisfies the conjunction of the
+// module invariants (Theorem 4.1).
+//
+// Construction mirrors the paper's surface syntax (Figures 4 and 7):
+//
+//	mp, _ := soter.NewNode("MotionPrimitive", 10*time.Millisecond,
+//	    []soter.TopicName{"localPosition", "targetWaypoint"},
+//	    []soter.TopicName{"controlAction"}, acStep)
+//	mpSC, _ := soter.NewNode("MotionPrimitiveSC", 10*time.Millisecond,
+//	    []soter.TopicName{"localPosition", "targetWaypoint"},
+//	    []soter.TopicName{"controlAction"}, scStep)
+//	mod, _ := soter.NewRTAModule(soter.ModuleDecl{
+//	    Name: "SafeMotionPrimitive",
+//	    AC:   mp, SC: mpSC,
+//	    Delta:     100 * time.Millisecond,
+//	    TTF2Delta: ttf2dMPr,   // Reach(st, *, 2Δ) ⊄ φsafe
+//	    InSafer:   phiSaferMPr, // st ∈ φsafer
+//	    Safe:      phiSafeMPr,
+//	})
+//	sys, _ := soter.NewSystem([]*soter.Module{mod}, nil)
+//	exec, _ := soter.NewExecutor(sys, nil, soter.WithInvariantChecking())
+//	_ = exec.RunUntil(time.Minute)
+//
+// The internal packages supply everything the paper's evaluation needs: the
+// drone plant, reachability analyses standing in for FaSTrack / the
+// Level-Set Toolbox, the RRT* and A* planners, the battery monitor, the
+// closed-loop simulator and the bounded-asynchrony systematic-testing
+// engine. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced evaluation.
+package soter
+
+import (
+	"time"
+
+	"repro/internal/node"
+	"repro/internal/pubsub"
+	"repro/internal/rta"
+	"repro/internal/runtime"
+)
+
+// Core vocabulary, re-exported from the internal implementation packages so
+// applications program against a single import.
+type (
+	// TopicName names a publish-subscribe topic.
+	TopicName = pubsub.TopicName
+	// Value is a topic value.
+	Value = pubsub.Value
+	// Valuation maps topic names to values.
+	Valuation = pubsub.Valuation
+	// Topic declares a topic with a default value.
+	Topic = pubsub.Topic
+	// Store is the global topic store an Environment reads and writes.
+	Store = pubsub.Store
+	// State is a node's local state.
+	State = node.State
+	// StepFunc is a node transition function.
+	StepFunc = node.StepFunc
+	// Node is a periodic input-output state-transition system.
+	Node = node.Node
+	// NodeOption configures node construction.
+	NodeOption = node.Option
+	// Mode is a decision module's mode (AC or SC).
+	Mode = rta.Mode
+	// ModuleDecl declares an RTA module (Figure 7).
+	ModuleDecl = rta.Decl
+	// Module is a compiled RTA module with its generated decision module.
+	Module = rta.Module
+	// StatePredicate evaluates a predicate over monitored topics.
+	StatePredicate = rta.StatePredicate
+	// Certificate discharges the semantic obligations (P2a), (P2b), (P3).
+	Certificate = rta.Certificate
+	// System is a composition of RTA modules and plain nodes.
+	System = rta.System
+	// Executor runs a system under the Figure 11 operational semantics.
+	Executor = runtime.Executor
+	// ExecutorOption configures an executor.
+	ExecutorOption = runtime.Option
+	// Environment is the environment-input hook.
+	Environment = runtime.Environment
+	// EnvironmentFunc adapts a function to Environment.
+	EnvironmentFunc = runtime.EnvironmentFunc
+	// Switch records a DM mode change.
+	Switch = runtime.Switch
+	// InvariantViolationError reports a φInv monitor failure.
+	InvariantViolationError = runtime.InvariantViolationError
+)
+
+// Modes.
+const (
+	// ModeSC: the certified safe controller is in control.
+	ModeSC = rta.ModeSC
+	// ModeAC: the advanced (untrusted) controller is in control.
+	ModeAC = rta.ModeAC
+)
+
+// Composition and well-formedness errors.
+var (
+	// ErrNotWellFormed reports a violation of the structural well-formedness
+	// conditions (P1a), (P1b) or a failed certificate check.
+	ErrNotWellFormed = rta.ErrNotWellFormed
+	// ErrNotComposable reports node or output overlap between modules.
+	ErrNotComposable = rta.ErrNotComposable
+)
+
+// NewNode declares a periodic node (Figure 4): name, period, subscribed
+// topics, published topics and the transition function.
+func NewNode(name string, period time.Duration, inputs, outputs []TopicName, step StepFunc, opts ...NodeOption) (*Node, error) {
+	return node.New(name, period, inputs, outputs, step, opts...)
+}
+
+// WithPhase offsets a node's first firing.
+func WithPhase(p time.Duration) NodeOption { return node.WithPhase(p) }
+
+// WithInit sets a node's initial-local-state constructor.
+func WithInit(f func() State) NodeOption { return node.WithInit(f) }
+
+// NewRTAModule compiles an RTA module declaration (Figure 7): it checks the
+// structural well-formedness conditions and generates the decision module
+// implementing the Figure 9 switching logic.
+func NewRTAModule(d ModuleDecl) (*Module, error) { return rta.NewModule(d) }
+
+// NewSystem composes RTA modules and plain nodes, enforcing the
+// composability conditions of Section IV (disjoint nodes, disjoint outputs).
+func NewSystem(modules []*Module, plain []*Node) (*System, error) {
+	return rta.NewSystem(modules, plain)
+}
+
+// Compose forms the union of two RTA systems.
+func Compose(a, b *System) (*System, error) { return rta.Compose(a, b) }
+
+// NewExecutor builds an executor for the system; envTopics declares
+// environment-input topics and their defaults.
+func NewExecutor(sys *System, envTopics []Topic, opts ...ExecutorOption) (*Executor, error) {
+	return runtime.New(sys, envTopics, opts...)
+}
+
+// WithEnvironment installs the environment hook on an executor.
+func WithEnvironment(env Environment) ExecutorOption { return runtime.WithEnvironment(env) }
+
+// WithInvariantChecking makes the executor assert φInv at every DM step.
+func WithInvariantChecking() ExecutorOption { return runtime.WithInvariantChecking() }
+
+// WithSwitchHook registers a callback invoked on every DM mode change.
+func WithSwitchHook(fn func(Switch)) ExecutorOption { return runtime.WithSwitchHook(fn) }
+
+// WithDropFilter installs a firing filter modelling best-effort scheduling.
+func WithDropFilter(drop func(ct time.Duration, nodeName string) bool) ExecutorOption {
+	return runtime.WithDropFilter(drop)
+}
