@@ -8,12 +8,14 @@ package soter_test
 
 import (
 	"fmt"
+	goruntime "runtime"
 	"sync"
 	"testing"
 	"time"
 
 	soter "repro"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/geom"
 	"repro/internal/mission"
 	"repro/internal/plan"
@@ -21,6 +23,7 @@ import (
 	"repro/internal/pubsub"
 	"repro/internal/reach"
 	"repro/internal/rta"
+	"repro/internal/sim"
 )
 
 // printOnce prints each experiment table a single time even when the bench
@@ -178,6 +181,55 @@ func BenchmarkAblationNoReturn(b *testing.B) {
 			b.Fatal(err)
 		}
 		report(b, "abl2", res.Format())
+	}
+}
+
+// BenchmarkFleetScaling measures batch-simulation throughput of the fleet
+// engine at 1, 4 and GOMAXPROCS workers on a fixed batch of independent
+// surveillance missions. Every mission builds its own stack, store, executor
+// and RNG inside the worker, so on multi-core hardware throughput scales
+// near-linearly with the worker bound (the acceptance target is ≥2x at 4
+// workers vs 1); on a single-core box the worker counts tie. The reported
+// missions/s metric is the batch throughput.
+func BenchmarkFleetScaling(b *testing.B) {
+	const batch = 8
+	missions := fleet.SeedSweep("scale", fleet.Seeds(1, batch), func(seed int64) (sim.RunConfig, error) {
+		mcfg := mission.DefaultStackConfig(seed)
+		mcfg.App = mission.AppConfig{Points: []geom.Vec3{
+			geom.V(3, 3, 2), geom.V(46, 46, 2), geom.V(3, 46, 2.5),
+		}}
+		st, err := mission.Build(mcfg)
+		if err != nil {
+			return sim.RunConfig{}, err
+		}
+		return sim.RunConfig{
+			Stack:           st,
+			Initial:         plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+			Duration:        10 * time.Second,
+			Seed:            seed,
+			CheckInvariants: true,
+		}, nil
+	})
+	workerCounts := []int{1, 4}
+	if p := goruntime.GOMAXPROCS(0); p != 1 && p != 4 {
+		workerCounts = append(workerCounts, p)
+	}
+	for _, workers := range workerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var completed int
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				rep := fleet.Run(missions, fleet.Options{Workers: workers})
+				if err := rep.FirstErr(); err != nil {
+					b.Fatal(err)
+				}
+				if rep.Crashes != 0 {
+					b.Fatalf("%d protected missions crashed", rep.Crashes)
+				}
+				completed += rep.Missions
+			}
+			b.ReportMetric(float64(completed)/time.Since(start).Seconds(), "missions/s")
+		})
 	}
 }
 

@@ -1,13 +1,16 @@
 // Command soter-bench regenerates every table and figure of the paper's
 // evaluation (Section V) as text tables — the same experiments the
-// bench_test.go harness runs, addressable individually.
+// bench_test.go harness runs, addressable individually. Each experiment's
+// internal scenario sweeps are dispatched through the fleet engine
+// (internal/fleet) bounded at -workers, so sweep-heavy experiments saturate
+// the available cores while reports still print in order as they finish.
 //
 // Usage:
 //
-//	soter-bench [-seed N] [-quick] [experiment ...]
+//	soter-bench [-seed N] [-quick] [-workers N] [experiment ...]
 //
 // With no arguments every experiment runs. Experiments: fig5r fig5l fig6
-// fig10 fig12a fig12b fig12c sec5c sec5d abl-delta abl-return.
+// fig10 fig12a fig12b fig12b-fleet fig12c sec5c sec5d abl-delta abl-return.
 package main
 
 import (
@@ -22,33 +25,33 @@ import (
 
 type experiment struct {
 	name string
-	run  func(seed int64, quick bool) (string, error)
+	run  func(seed int64, quick bool, workers int) (string, error)
 }
 
 func catalogue() []experiment {
 	return []experiment{
-		{"fig5r", func(seed int64, quick bool) (string, error) {
+		{"fig5r", func(seed int64, quick bool, _ int) (string, error) {
 			laps := 10
 			if quick {
 				laps = 5
 			}
 			return experiments.Fig5Right(experiments.Fig5Config{Seed: seed, Laps: laps}).Format(), nil
 		}},
-		{"fig5l", func(seed int64, quick bool) (string, error) {
+		{"fig5l", func(seed int64, quick bool, workers int) (string, error) {
 			laps := 12
 			if quick {
 				laps = 6
 			}
-			return experiments.Fig5Left(experiments.Fig5Config{Seed: seed + 4, Laps: laps}).Format(), nil
+			return experiments.Fig5Left(experiments.Fig5Config{Seed: seed + 4, Laps: laps, Workers: workers}).Format(), nil
 		}},
-		{"fig6", func(seed int64, _ bool) (string, error) {
+		{"fig6", func(seed int64, _ bool, _ int) (string, error) {
 			res, err := experiments.Fig6(experiments.Fig6Config{Seed: seed + 1})
 			if err != nil {
 				return "", err
 			}
 			return res.Format(), nil
 		}},
-		{"fig10", func(seed int64, quick bool) (string, error) {
+		{"fig10", func(seed int64, quick bool, _ int) (string, error) {
 			samples := 4000
 			if quick {
 				samples = 1000
@@ -59,7 +62,7 @@ func catalogue() []experiment {
 			}
 			return res.Format(), nil
 		}},
-		{"fig12a", func(seed int64, quick bool) (string, error) {
+		{"fig12a", func(seed int64, quick bool, _ int) (string, error) {
 			tours := 2
 			if quick {
 				tours = 1
@@ -70,7 +73,7 @@ func catalogue() []experiment {
 			}
 			return res.Format(), nil
 		}},
-		{"fig12b", func(seed int64, quick bool) (string, error) {
+		{"fig12b", func(seed int64, quick bool, _ int) (string, error) {
 			d := 2 * time.Minute
 			if quick {
 				d = 45 * time.Second
@@ -81,14 +84,29 @@ func catalogue() []experiment {
 			}
 			return res.Format(), nil
 		}},
-		{"fig12c", func(seed int64, _ bool) (string, error) {
+		{"fig12b-fleet", func(seed int64, quick bool, workers int) (string, error) {
+			cfg := experiments.Fig12bFleetConfig{
+				BaseSeed: seed + 6, Missions: 8, Duration: time.Minute,
+				Faults: true, Workers: workers,
+			}
+			if quick {
+				cfg.Missions = 4
+				cfg.Duration = 30 * time.Second
+			}
+			res, err := experiments.Fig12bFleet(cfg)
+			if err != nil {
+				return "", err
+			}
+			return res.Format(), nil
+		}},
+		{"fig12c", func(seed int64, _ bool, _ int) (string, error) {
 			res, err := experiments.Fig12c(experiments.Fig12cConfig{Seed: seed + 10})
 			if err != nil {
 				return "", err
 			}
 			return res.Format(), nil
 		}},
-		{"sec5c", func(seed int64, quick bool) (string, error) {
+		{"sec5c", func(seed int64, quick bool, _ int) (string, error) {
 			cfg := experiments.Sec5cConfig{Seed: seed + 2, Queries: 40, ClosedLoop: time.Minute}
 			if quick {
 				cfg.Queries = 15
@@ -100,8 +118,8 @@ func catalogue() []experiment {
 			}
 			return res.Format(), nil
 		}},
-		{"sec5d", func(seed int64, quick bool) (string, error) {
-			cfg := experiments.Sec5dConfig{Seed: seed + 12, SimHours: 0.5}
+		{"sec5d", func(seed int64, quick bool, workers int) (string, error) {
+			cfg := experiments.Sec5dConfig{Seed: seed + 12, SimHours: 0.5, Workers: workers}
 			if quick {
 				cfg.SimHours = 0.1
 				cfg.SegmentMinutes = 3
@@ -112,8 +130,8 @@ func catalogue() []experiment {
 			}
 			return res.Format(), nil
 		}},
-		{"abl-delta", func(seed int64, quick bool) (string, error) {
-			cfg := experiments.AblationConfig{Seed: seed + 5}
+		{"abl-delta", func(seed int64, quick bool, workers int) (string, error) {
+			cfg := experiments.AblationConfig{Seed: seed + 5, Workers: workers}
 			if quick {
 				cfg.Duration = 40 * time.Second
 			}
@@ -123,8 +141,8 @@ func catalogue() []experiment {
 			}
 			return res.Format(), nil
 		}},
-		{"abl-return", func(seed int64, quick bool) (string, error) {
-			cfg := experiments.AblationConfig{Seed: seed + 5}
+		{"abl-return", func(seed int64, quick bool, workers int) (string, error) {
+			cfg := experiments.AblationConfig{Seed: seed + 5, Workers: workers}
 			if quick {
 				cfg.Duration = 40 * time.Second
 			}
@@ -148,6 +166,7 @@ func main() {
 func run() error {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	quick := flag.Bool("quick", false, "run scaled-down configurations")
+	workers := flag.Int("workers", 0, "fleet worker-pool bound (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	cat := catalogue()
@@ -166,16 +185,24 @@ func run() error {
 		}
 	}
 	for _, name := range selected {
-		e, ok := byName[name]
-		if !ok {
+		if _, ok := byName[name]; !ok {
 			return fmt.Errorf("unknown experiment %q (have: %v)", name, names)
 		}
-		start := time.Now()
-		out, err := e.run(*seed, *quick)
+	}
+
+	// Experiments run one at a time (reports print as they finish); the
+	// parallelism lives inside each experiment, whose scenario sweeps fan
+	// out through the fleet engine bounded at -workers, so total concurrency
+	// never exceeds the flag.
+	start := time.Now()
+	for _, name := range selected {
+		expStart := time.Now()
+		out, err := byName[name].run(*seed, *quick, *workers)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Printf("%s\n[%s took %v]\n\n", out, name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("%s\n[%s took %v]\n\n", out, name, time.Since(expStart).Round(time.Millisecond))
 	}
+	fmt.Printf("[%d experiments took %v total]\n", len(selected), time.Since(start).Round(time.Millisecond))
 	return nil
 }

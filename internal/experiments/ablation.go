@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/controller"
+	"repro/internal/fleet"
 	"repro/internal/geom"
 	"repro/internal/mission"
 	"repro/internal/plant"
@@ -15,6 +16,9 @@ import (
 type AblationConfig struct {
 	Seed     int64
 	Duration time.Duration
+	// Workers bounds the fleet worker pool the configuration grid is
+	// dispatched across (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DeltaRow is one (Δ, hysteresis) configuration.
@@ -73,35 +77,55 @@ func ablationMission(seed int64, delta time.Duration, hysteresis float64, oneWay
 	return mission.Build(mcfg)
 }
 
-// AblationDelta runs the sweep.
+// AblationDelta runs the sweep: the 12-point (Δ, hysteresis) grid is
+// dispatched as one fleet batch, every grid point an isolated mission.
 func AblationDelta(cfg AblationConfig) (AblationDeltaResult, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 80 * time.Second
 	}
-	var res AblationDeltaResult
+	type gridPoint struct {
+		delta time.Duration
+		hyst  float64
+	}
+	var grid []gridPoint
 	for _, delta := range []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond} {
 		for _, hyst := range []float64{1.0, 2.0, 4.0} {
-			st, err := ablationMission(cfg.Seed, delta, hyst, false)
-			if err != nil {
-				return AblationDeltaResult{}, fmt.Errorf("ablation Δ=%v: %w", delta, err)
-			}
-			out, err := sim.Run(sim.RunConfig{
-				Stack:    st,
-				Initial:  plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
-				Duration: cfg.Duration,
-				Seed:     cfg.Seed,
-			})
-			if err != nil {
-				return AblationDeltaResult{}, fmt.Errorf("ablation Δ=%v: %w", delta, err)
-			}
-			m := out.Metrics
-			row := DeltaRow{Delta: delta, Hysteresis: hyst, Crashed: m.Crashed, Targets: m.TargetsVisited}
-			if s, ok := m.Modules["safe-motion-primitive"]; ok {
-				row.Disengagements = s.Disengagements
-				row.ACFraction = s.ACFraction()
-			}
-			res.Rows = append(res.Rows, row)
+			grid = append(grid, gridPoint{delta, hyst})
 		}
+	}
+	missions := make([]fleet.Mission, len(grid))
+	for i, gp := range grid {
+		gp := gp
+		missions[i] = fleet.Mission{
+			Name: fmt.Sprintf("Δ=%v/hyst=%.1f", gp.delta, gp.hyst),
+			Seed: cfg.Seed,
+			Build: func() (sim.RunConfig, error) {
+				st, err := ablationMission(cfg.Seed, gp.delta, gp.hyst, false)
+				if err != nil {
+					return sim.RunConfig{}, err
+				}
+				return sim.RunConfig{
+					Stack:    st,
+					Initial:  plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+					Duration: cfg.Duration,
+					Seed:     cfg.Seed,
+				}, nil
+			},
+		}
+	}
+	rep := fleet.Run(missions, fleet.Options{Workers: cfg.Workers})
+	if err := rep.FirstErr(); err != nil {
+		return AblationDeltaResult{}, fmt.Errorf("ablation: %w", err)
+	}
+	var res AblationDeltaResult
+	for i, out := range rep.Results {
+		m := out.Metrics
+		row := DeltaRow{Delta: grid[i].delta, Hysteresis: grid[i].hyst, Crashed: m.Crashed, Targets: m.TargetsVisited}
+		if s, ok := m.Modules["safe-motion-primitive"]; ok {
+			row.Disengagements = s.Disengagements
+			row.ACFraction = s.ACFraction()
+		}
+		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
 }
@@ -139,34 +163,47 @@ func (r AblationReturnResult) Format() string {
 	return t.String()
 }
 
-// AblationReturn runs the comparison.
+// AblationReturn runs the comparison, both switching policies simulating
+// concurrently as a two-mission fleet batch.
 func AblationReturn(cfg AblationConfig) (AblationReturnResult, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 80 * time.Second
 	}
-	var res AblationReturnResult
-	for _, pol := range []struct {
+	policies := []struct {
 		name   string
 		oneWay bool
 	}{
 		{"two-way (SOTER)", false},
 		{"one-way (Simplex)", true},
-	} {
-		st, err := ablationMission(cfg.Seed, 100*time.Millisecond, 2.0, pol.oneWay)
-		if err != nil {
-			return AblationReturnResult{}, fmt.Errorf("ablation return: %w", err)
+	}
+	missions := make([]fleet.Mission, len(policies))
+	for i, pol := range policies {
+		pol := pol
+		missions[i] = fleet.Mission{
+			Name: pol.name,
+			Seed: cfg.Seed,
+			Build: func() (sim.RunConfig, error) {
+				st, err := ablationMission(cfg.Seed, 100*time.Millisecond, 2.0, pol.oneWay)
+				if err != nil {
+					return sim.RunConfig{}, err
+				}
+				return sim.RunConfig{
+					Stack:    st,
+					Initial:  plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+					Duration: cfg.Duration,
+					Seed:     cfg.Seed,
+				}, nil
+			},
 		}
-		out, err := sim.Run(sim.RunConfig{
-			Stack:    st,
-			Initial:  plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
-			Duration: cfg.Duration,
-			Seed:     cfg.Seed,
-		})
-		if err != nil {
-			return AblationReturnResult{}, fmt.Errorf("ablation return: %w", err)
-		}
+	}
+	rep := fleet.Run(missions, fleet.Options{Workers: cfg.Workers})
+	if err := rep.FirstErr(); err != nil {
+		return AblationReturnResult{}, fmt.Errorf("ablation return: %w", err)
+	}
+	var res AblationReturnResult
+	for i, out := range rep.Results {
 		m := out.Metrics
-		row := ReturnRow{Policy: pol.name, Crashed: m.Crashed, Targets: m.TargetsVisited, Distance: m.DistanceFlown}
+		row := ReturnRow{Policy: policies[i].name, Crashed: m.Crashed, Targets: m.TargetsVisited, Distance: m.DistanceFlown}
 		if s, ok := m.Modules["safe-motion-primitive"]; ok {
 			row.ACFraction = s.ACFraction()
 			row.Disengagements = s.Disengagements

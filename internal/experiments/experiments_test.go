@@ -120,6 +120,30 @@ func TestFig12bShape(t *testing.T) {
 	}
 }
 
+func TestFig12bFleetShape(t *testing.T) {
+	res, err := Fig12bFleet(Fig12bFleetConfig{
+		BaseSeed: 7, Missions: 3, Duration: 30 * time.Second, Faults: true, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missions != 3 {
+		t.Fatalf("missions = %d", res.Missions)
+	}
+	if res.Crashes != 0 {
+		t.Errorf("protected sweep crashed %d times", res.Crashes)
+	}
+	if res.MeanACFraction < 0.5 {
+		t.Errorf("mean AC fraction = %v, want majority", res.MeanACFraction)
+	}
+	if res.Throughput <= 0 || res.SimTime < 3*30*time.Second {
+		t.Errorf("throughput %v / sim time %v not aggregated", res.Throughput, res.SimTime)
+	}
+	if !strings.Contains(res.Format(), "fleet sweep") {
+		t.Error("Format missing title")
+	}
+}
+
 func TestFig12cShape(t *testing.T) {
 	res, err := Fig12c(Fig12cConfig{Seed: 11})
 	if err != nil {

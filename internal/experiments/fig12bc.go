@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/controller"
+	"repro/internal/fleet"
 	"repro/internal/geom"
 	"repro/internal/mission"
 	"repro/internal/plant"
@@ -58,22 +59,20 @@ func (r Fig12bResult) Format() string {
 	return t.String()
 }
 
-// Fig12b runs the surveillance mission.
-func Fig12b(cfg Fig12bConfig) (Fig12bResult, error) {
-	if cfg.Duration <= 0 {
-		cfg.Duration = 2 * time.Minute
-	}
-	mcfg := mission.DefaultStackConfig(cfg.Seed)
+// fig12bRunConfig assembles the faulted surveillance mission used by Fig12b
+// and its fleet sweep.
+func fig12bRunConfig(seed int64, duration time.Duration, faults bool) (sim.RunConfig, error) {
+	mcfg := mission.DefaultStackConfig(seed)
 	mcfg.App = mission.AppConfig{
 		Points: []geom.Vec3{
 			geom.V(3, 3, 2), geom.V(46, 3, 2.5), geom.V(46, 46, 2),
 			geom.V(3, 46, 2.5), geom.V(25, 33, 3),
 		},
 	}
-	if cfg.Faults {
+	if faults {
 		for i := 0; ; i++ {
 			start := time.Duration(9+13*i) * time.Second
-			if start >= cfg.Duration {
+			if start >= duration {
 				break
 			}
 			mcfg.ACFaults = append(mcfg.ACFaults, controller.Fault{
@@ -86,15 +85,27 @@ func Fig12b(cfg Fig12bConfig) (Fig12bResult, error) {
 	}
 	st, err := mission.Build(mcfg)
 	if err != nil {
-		return Fig12bResult{}, fmt.Errorf("fig12b: %w", err)
+		return sim.RunConfig{}, err
 	}
-	out, err := sim.Run(sim.RunConfig{
+	return sim.RunConfig{
 		Stack:           st,
 		Initial:         plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
-		Duration:        cfg.Duration,
-		Seed:            cfg.Seed,
+		Duration:        duration,
+		Seed:            seed,
 		CheckInvariants: true,
-	})
+	}, nil
+}
+
+// Fig12b runs the surveillance mission.
+func Fig12b(cfg Fig12bConfig) (Fig12bResult, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Minute
+	}
+	rcfg, err := fig12bRunConfig(cfg.Seed, cfg.Duration, cfg.Faults)
+	if err != nil {
+		return Fig12bResult{}, fmt.Errorf("fig12b: %w", err)
+	}
+	out, err := sim.Run(rcfg)
 	if err != nil {
 		return Fig12bResult{}, fmt.Errorf("fig12b: %w", err)
 	}
@@ -199,6 +210,82 @@ func Fig12c(cfg Fig12cConfig) (Fig12cResult, error) {
 			res.EngageTime = sw.Time
 			break
 		}
+	}
+	return res, nil
+}
+
+// Fig12bFleetConfig parameterises the multi-seed surveillance sweep: the
+// Figure 12b mission repeated across many seeds through the fleet engine.
+// The paper flies the mission once; the sweep turns its headline claim — SC
+// takes over at the N points and the drone never collides — into a
+// statistical statement across seeds.
+type Fig12bFleetConfig struct {
+	BaseSeed int64
+	// Missions is the number of seeded repetitions (default 8).
+	Missions int
+	Duration time.Duration
+	Faults   bool
+	// Workers bounds the fleet worker pool (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Fig12bFleetResult aggregates the sweep.
+type Fig12bFleetResult struct {
+	Missions            int
+	Workers             int
+	Crashes             int
+	MeanDisengagements  float64
+	MeanACFraction      float64
+	TotalDistanceKm     float64
+	InvariantViolations int
+	SimTime             time.Duration
+	Wall                time.Duration
+	Throughput          float64 // missions per wall-clock second
+}
+
+// Format prints the sweep summary.
+func (r Fig12bFleetResult) Format() string {
+	var t table
+	t.title("Figure 12b fleet sweep: seeded surveillance missions in parallel")
+	t.row("missions", "workers", "crashes", "mean AC→SC", "mean AC frac")
+	t.row(fmt.Sprint(r.Missions), fmt.Sprint(r.Workers), fmt.Sprint(r.Crashes),
+		fmt.Sprintf("%.1f", r.MeanDisengagements), fmtPct(r.MeanACFraction))
+	t.line("distance %.2f km  sim %v  wall %v  %.2f missions/s  φInv violations %d",
+		r.TotalDistanceKm, fmtDur(r.SimTime), fmtDur(r.Wall), r.Throughput, r.InvariantViolations)
+	t.line("paper flies this mission once; across seeds the protected stack should")
+	t.line("keep the crash count at zero while the AC stays in control most of the time.")
+	return t.String()
+}
+
+// Fig12bFleet runs the sweep.
+func Fig12bFleet(cfg Fig12bFleetConfig) (Fig12bFleetResult, error) {
+	if cfg.Missions <= 0 {
+		cfg.Missions = 8
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Minute
+	}
+	missions := fleet.SeedSweep("fig12b", fleet.Seeds(cfg.BaseSeed, cfg.Missions),
+		func(seed int64) (sim.RunConfig, error) {
+			return fig12bRunConfig(seed, cfg.Duration, cfg.Faults)
+		})
+	rep := fleet.Run(missions, fleet.Options{Workers: cfg.Workers})
+	if err := rep.FirstErr(); err != nil {
+		return Fig12bFleetResult{}, fmt.Errorf("fig12b fleet: %w", err)
+	}
+	res := Fig12bFleetResult{
+		Missions:            rep.Missions,
+		Workers:             rep.Workers,
+		Crashes:             rep.Crashes,
+		TotalDistanceKm:     rep.DistanceKm,
+		InvariantViolations: rep.InvariantViolations,
+		SimTime:             rep.SimTime,
+		Wall:                rep.Wall,
+		Throughput:          rep.Throughput(),
+	}
+	if s := rep.ModuleStats("safe-motion-primitive"); s.ACTime+s.SCTime > 0 {
+		res.MeanACFraction = s.ACFraction()
+		res.MeanDisengagements = float64(s.Disengagements) / float64(rep.Missions)
 	}
 	return res, nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/controller"
+	"repro/internal/fleet"
 	"repro/internal/geom"
 	"repro/internal/plant"
 )
@@ -17,6 +18,9 @@ type Fig5Config struct {
 	Seed int64
 	// Laps is the number of tour repetitions.
 	Laps int
+	// Workers bounds the fleet worker pool the independent loops of the
+	// figure-eight sweep are dispatched across (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Fig5RightResult reports the PX4-style third-party controller experiment:
@@ -156,7 +160,17 @@ func (r Fig5LeftResult) Format() string {
 	return t.String()
 }
 
-// Fig5Left runs the learned-controller figure-eight experiment.
+// fig5Loop is the verdict of one independent figure-eight loop.
+type fig5Loop struct {
+	max      float64
+	devSum   float64
+	devCount int
+}
+
+// Fig5Left runs the learned-controller figure-eight experiment. Every loop
+// flies the eight at a different location with its own drone and noise
+// stream, so the loop sweep is an independent scenario set and is dispatched
+// through the fleet engine's worker pool.
 func Fig5Left(cfg Fig5Config) Fig5LeftResult {
 	if cfg.Laps <= 0 {
 		cfg.Laps = 12
@@ -167,61 +181,61 @@ func Fig5Left(cfg Fig5Config) Fig5LeftResult {
 	// some loops stay green and some go red, as in the figure.
 	params.SensorNoise = 0.12
 	limits := controller.Limits{MaxAccel: params.MaxAccel, MaxVel: params.MaxVel}
+	// The learned policy is stateless (its per-cell gains are derived by
+	// hashing the observed state), so one instance is safely shared by all
+	// loop workers.
 	learned := controller.NewLearned(limits, 0.18, cfg.Seed)
-	drone, err := plant.NewDrone(params, cfg.Seed)
-	if err != nil {
-		panic(err)
-	}
 
 	// Figure-eight reference: a Lissajous curve in the XY plane, paced so
 	// the reference speed stays well under the velocity cap.
 	const (
-		period = 40 * time.Second
-		ax     = 12.0
-		ay     = 6.0
+		period       = 40 * time.Second
+		ax           = 12.0
+		ay           = 6.0
+		curveSamples = 512
+		dt           = 20 * time.Millisecond
 	)
 	// Each loop flies the eight at a slightly different location (as when a
 	// mission surveys neighbouring blocks): whether the path crosses the
-	// policy's mis-trained state-space cells varies per loop.
+	// policy's mis-trained state-space cells varies per loop. Centers are
+	// drawn sequentially so the scenario set does not depend on the worker
+	// count.
 	rng := rand.New(rand.NewSource(cfg.Seed + 42))
 	center := geom.V(20, 20, 3)
-	loopCenter := center
-	ref := func(t time.Duration) geom.Vec3 {
-		phase := 2 * math.Pi * float64(t) / float64(period)
-		return loopCenter.Add(geom.V(ax*math.Sin(phase), ay*math.Sin(2*phase), 0))
+	centers := make([]geom.Vec3, cfg.Laps)
+	for i := range centers {
+		centers[i] = center.Add(geom.V((rng.Float64()*2-1)*4, (rng.Float64()*2-1)*4, 0))
 	}
 
-	// Pre-sample the curve for cross-track error: the deviation of a loop is
-	// the distance to the nearest point of the reference eight, not the lag
-	// behind the moving reference.
-	const curveSamples = 512
-	curve := make([]geom.Vec3, curveSamples)
-	for i := range curve {
-		curve[i] = ref(period * time.Duration(i) / curveSamples)
-	}
-	crossTrack := func(p geom.Vec3) float64 {
-		best := math.Inf(1)
-		for _, c := range curve {
-			if d := p.Dist(c); d < best {
-				best = d
-			}
+	loops, err := fleet.Map(cfg.Workers, cfg.Laps, func(loop int) (fig5Loop, error) {
+		loopCenter := centers[loop]
+		ref := func(t time.Duration) geom.Vec3 {
+			phase := 2 * math.Pi * float64(t) / float64(period)
+			return loopCenter.Add(geom.V(ax*math.Sin(phase), ay*math.Sin(2*phase), 0))
 		}
-		return best
-	}
-
-	state := plant.State{Pos: ref(0), Battery: 1}
-	const dt = 20 * time.Millisecond
-	res := Fig5LeftResult{Loops: cfg.Laps, Threshold: 0.9}
-	var devSum float64
-	var devCount int
-	for loop := 0; loop < cfg.Laps; loop++ {
-		loopCenter = center.Add(geom.V((rng.Float64()*2-1)*4, (rng.Float64()*2-1)*4, 0))
+		// Pre-sample the curve for cross-track error: the deviation of a
+		// loop is the distance to the nearest point of the reference eight,
+		// not the lag behind the moving reference.
+		curve := make([]geom.Vec3, curveSamples)
 		for i := range curve {
 			curve[i] = ref(period * time.Duration(i) / curveSamples)
 		}
-		state.Pos = ref(0)
-		state.Vel = geom.Vec3{}
-		loopMax := 0.0
+		crossTrack := func(p geom.Vec3) float64 {
+			best := math.Inf(1)
+			for _, c := range curve {
+				if d := p.Dist(c); d < best {
+					best = d
+				}
+			}
+			return best
+		}
+		// A per-loop drone isolates the sensor-noise stream.
+		drone, err := plant.NewDrone(params, cfg.Seed+int64(loop)*131)
+		if err != nil {
+			return fig5Loop{}, err
+		}
+		state := plant.State{Pos: ref(0), Battery: 1}
+		var out fig5Loop
 		start := time.Duration(loop) * period
 		for t := start; t < start+period; t += dt {
 			// Track a point slightly ahead on the reference, from the noisy
@@ -231,17 +245,29 @@ func Fig5Left(cfg Fig5Config) Fig5LeftResult {
 			u := learned.Control(t, obs.Pos, obs.Vel, target)
 			state = drone.Step(state, u, dt)
 			dev := crossTrack(state.Pos)
-			devSum += dev
-			devCount++
-			if dev > loopMax {
-				loopMax = dev
+			out.devSum += dev
+			out.devCount++
+			if dev > out.max {
+				out.max = dev
 			}
 		}
-		if loopMax > res.Threshold {
+		return out, nil
+	})
+	if err != nil {
+		panic(err) // only NewDrone can fail, and only on invalid static params
+	}
+
+	res := Fig5LeftResult{Loops: cfg.Laps, Threshold: 0.9}
+	var devSum float64
+	var devCount int
+	for _, l := range loops {
+		devSum += l.devSum
+		devCount += l.devCount
+		if l.max > res.Threshold {
 			res.UnsafeLoops++
 		}
-		if loopMax > res.MaxDeviation {
-			res.MaxDeviation = loopMax
+		if l.max > res.MaxDeviation {
+			res.MaxDeviation = l.max
 		}
 	}
 	if devCount > 0 {

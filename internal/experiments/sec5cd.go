@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/controller"
+	"repro/internal/fleet"
 	"repro/internal/geom"
 	"repro/internal/mission"
 	"repro/internal/plan"
@@ -149,6 +150,9 @@ type Sec5dConfig struct {
 	// JitterProb is the per-firing outage-start probability in the
 	// best-effort-scheduling configuration.
 	JitterProb float64
+	// Workers bounds the fleet worker pool the segments are dispatched
+	// across (0 = GOMAXPROCS).
+	Workers int
 }
 
 // Sec5dRow is one scheduling configuration of the endurance study.
@@ -187,7 +191,9 @@ func (r Sec5dResult) Format() string {
 }
 
 // Sec5d runs the endurance study under RTOS-like (no jitter) and
-// best-effort (burst outage) scheduling.
+// best-effort (burst outage) scheduling. The independent mission segments of
+// each scheduling configuration are dispatched through the fleet engine, so
+// the scaled hours simulate in parallel.
 func Sec5d(cfg Sec5dConfig) (Sec5dResult, error) {
 	if cfg.SimHours <= 0 {
 		cfg.SimHours = 0.5
@@ -208,36 +214,39 @@ func Sec5d(cfg Sec5dConfig) (Sec5dResult, error) {
 	} {
 		row := Sec5dRow{Scheduling: sched.name}
 		segments := int(cfg.SimHours*60.0/float64(cfg.SegmentMinutes) + 0.5)
-		var acTime, totalTime time.Duration
-		for seg := 0; seg < segments; seg++ {
-			seed := cfg.Seed + int64(seg)*101
-			mcfg := mission.DefaultStackConfig(seed)
-			mcfg.App = mission.AppConfig{Random: true}
-			// A sporadic fault per segment gives the SCs something to catch,
-			// matching the paper's rare third-party failures (109
-			// disengagements in 104 hours).
-			start := time.Duration(60+seed%45) * time.Second
-			mcfg.ACFaults = append(mcfg.ACFaults, controller.Fault{
-				Kind:  controller.FaultFullThrust,
-				Start: start,
-				End:   start + 1100*time.Millisecond,
-				Param: geom.V(1, 0.5, 0),
+		jitter := sched.jitter
+		missions := fleet.SeedSweep(sched.name, fleet.Seeds(cfg.Seed, segments),
+			func(seed int64) (sim.RunConfig, error) {
+				mcfg := mission.DefaultStackConfig(seed)
+				mcfg.App = mission.AppConfig{Random: true}
+				// A sporadic fault per segment gives the SCs something to
+				// catch, matching the paper's rare third-party failures (109
+				// disengagements in 104 hours).
+				start := time.Duration(60+seed%45) * time.Second
+				mcfg.ACFaults = append(mcfg.ACFaults, controller.Fault{
+					Kind:  controller.FaultFullThrust,
+					Start: start,
+					End:   start + 1100*time.Millisecond,
+					Param: geom.V(1, 0.5, 0),
+				})
+				st, err := mission.Build(mcfg)
+				if err != nil {
+					return sim.RunConfig{}, err
+				}
+				return sim.RunConfig{
+					Stack:        st,
+					Initial:      plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+					Duration:     time.Duration(cfg.SegmentMinutes) * time.Minute,
+					Seed:         seed,
+					JitterProb:   jitter,
+					JitterSCOnly: true,
+				}, nil
 			})
-			st, err := mission.Build(mcfg)
-			if err != nil {
-				return Sec5dResult{}, fmt.Errorf("sec5d: %w", err)
-			}
-			out, err := sim.Run(sim.RunConfig{
-				Stack:        st,
-				Initial:      plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
-				Duration:     time.Duration(cfg.SegmentMinutes) * time.Minute,
-				Seed:         seed,
-				JitterProb:   sched.jitter,
-				JitterSCOnly: true,
-			})
-			if err != nil {
-				return Sec5dResult{}, fmt.Errorf("sec5d: %w", err)
-			}
+		rep := fleet.Run(missions, fleet.Options{Workers: cfg.Workers})
+		if err := rep.FirstErr(); err != nil {
+			return Sec5dResult{}, fmt.Errorf("sec5d: %w", err)
+		}
+		for _, out := range rep.Results {
 			m := out.Metrics
 			row.SimHours += m.Duration.Hours()
 			row.DistanceKm += m.DistanceFlown / 1000
@@ -246,13 +255,9 @@ func Sec5d(cfg Sec5dConfig) (Sec5dResult, error) {
 			if m.Crashed {
 				row.Crashes++
 			}
-			if s, ok := m.Modules["safe-motion-primitive"]; ok {
-				acTime += s.ACTime
-				totalTime += s.ACTime + s.SCTime
-			}
 		}
-		if totalTime > 0 {
-			row.ACFraction = float64(acTime) / float64(totalTime)
+		if s := rep.ModuleStats("safe-motion-primitive"); s.ACTime+s.SCTime > 0 {
+			row.ACFraction = s.ACFraction()
 		}
 		res.Rows = append(res.Rows, row)
 	}

@@ -1,0 +1,297 @@
+// Package fleet is a batch simulation engine: it runs many independent SOTER
+// missions concurrently across a bounded worker pool and aggregates their
+// verdicts into a single Report. The paper evaluates one mission at a time
+// (Section V); the experiment sweeps in internal/experiments — endurance
+// segments, ablation grids, seed sweeps — are embarrassingly parallel, and
+// the fleet engine is how they saturate multi-core hardware.
+//
+// Isolation is by construction: a Mission carries a Build function that is
+// invoked inside the worker, so every run assembles its own mission stack,
+// topic store, executor and seeded RNG. No mutable state is shared between
+// workers (the -race fleet tests prove it), and results are collected in
+// mission order, so a fleet run is deterministic regardless of worker count
+// or completion order.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rta"
+	soterruntime "repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+// Options configures a batch run.
+type Options struct {
+	// Workers bounds how many missions simulate concurrently. Zero or
+	// negative defaults to runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Mission describes one independent simulation of the batch.
+type Mission struct {
+	// Name labels the mission in the report (e.g. "seg-07/best-effort").
+	Name string
+	// Seed is echoed into the result for traceability; Build is expected to
+	// thread it into the stack and run configuration.
+	Seed int64
+	// Build constructs the run configuration. It runs inside the worker, so
+	// everything it creates — stack, store, executor, RNG — is private to
+	// this run.
+	Build func() (sim.RunConfig, error)
+}
+
+// MissionResult is the verdict of one mission.
+type MissionResult struct {
+	Name string
+	Seed int64
+	// Metrics is the zero value when Err is non-nil.
+	Metrics sim.Metrics
+	// Switches is the run's full DM switch log (AC→SC and back).
+	Switches []soterruntime.Switch
+	// Wall is the wall-clock time this mission took inside its worker.
+	Wall time.Duration
+	Err  error
+}
+
+// Disengagements counts the AC→SC switches of the run.
+func (r MissionResult) Disengagements() int {
+	n := 0
+	for _, sw := range r.Switches {
+		if sw.To == rta.ModeSC {
+			n++
+		}
+	}
+	return n
+}
+
+// Report aggregates a batch run.
+type Report struct {
+	// Results holds one entry per mission, in mission order (independent of
+	// completion order).
+	Results []MissionResult
+	// Workers is the worker-pool bound actually used.
+	Workers int
+	// Wall is the wall-clock time of the whole batch.
+	Wall time.Duration
+
+	// Aggregates over the successful missions:
+	Missions            int
+	Failed              int
+	Crashes             int
+	Landings            int
+	Disengagements      int
+	Reengagements       int
+	InvariantViolations int
+	DroppedFirings      int
+	// SimTime is the total simulated time across runs; SimTime/Wall is the
+	// batch's real-time factor.
+	SimTime    time.Duration
+	DistanceKm float64
+}
+
+// FirstErr returns the first mission error in mission order, or nil.
+func (r *Report) FirstErr() error {
+	for _, res := range r.Results {
+		if res.Err != nil {
+			return fmt.Errorf("mission %q (seed %d): %w", res.Name, res.Seed, res.Err)
+		}
+	}
+	return nil
+}
+
+// Throughput returns completed missions per wall-clock second.
+func (r *Report) Throughput() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Missions-r.Failed) / r.Wall.Seconds()
+}
+
+// Format prints the batch summary as a text table, in the style of the
+// experiment reports.
+func (r *Report) Format() string {
+	var b strings.Builder
+	title := fmt.Sprintf("Fleet: %d missions, %d workers", r.Missions, r.Workers)
+	b.WriteString(title + "\n" + strings.Repeat("-", len(title)) + "\n")
+	fmt.Fprintf(&b, "wall %v  sim %v  throughput %.2f missions/s\n",
+		r.Wall.Round(time.Millisecond), r.SimTime.Round(time.Millisecond), r.Throughput())
+	fmt.Fprintf(&b, "failed %d  crashes %d  landings %d  distance %.2f km\n",
+		r.Failed, r.Crashes, r.Landings, r.DistanceKm)
+	fmt.Fprintf(&b, "AC→SC %d  SC→AC %d  φInv violations %d  dropped firings %d\n",
+		r.Disengagements, r.Reengagements, r.InvariantViolations, r.DroppedFirings)
+	return b.String()
+}
+
+// Run simulates the missions across the worker pool and aggregates the
+// verdicts. Individual mission failures do not abort the batch; they are
+// recorded in the results and surfaced through FirstErr.
+func Run(missions []Mission, opts Options) *Report {
+	start := time.Now()
+	results, _ := Map(opts.Workers, len(missions), func(i int) (MissionResult, error) {
+		return runOne(missions[i]), nil
+	})
+	rep := &Report{
+		Results:  results,
+		Workers:  opts.workers(),
+		Wall:     time.Since(start),
+		Missions: len(missions),
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			rep.Failed++
+			continue
+		}
+		m := res.Metrics
+		if m.Crashed {
+			rep.Crashes++
+		}
+		if m.Landed {
+			rep.Landings++
+		}
+		rep.InvariantViolations += m.InvariantViolations
+		rep.DroppedFirings += m.DroppedFirings
+		rep.SimTime += m.Duration
+		rep.DistanceKm += m.DistanceFlown / 1000
+		for _, s := range m.Modules {
+			rep.Disengagements += s.Disengagements
+			rep.Reengagements += s.Reengagements
+		}
+	}
+	return rep
+}
+
+func runOne(m Mission) MissionResult {
+	res := MissionResult{Name: m.Name, Seed: m.Seed}
+	start := time.Now()
+	defer func() { res.Wall = time.Since(start) }()
+	if m.Build == nil {
+		res.Err = fmt.Errorf("nil Build")
+		return res
+	}
+	cfg, err := m.Build()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	out, err := sim.Run(cfg)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Metrics = out.Metrics
+	res.Switches = out.Switches
+	return res
+}
+
+// Map runs fn(0..n-1) across a worker pool bounded at workers (≤0 defaults
+// to GOMAXPROCS) and collects the results in index order. The first error
+// (by index) is returned; later indices still run to completion.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	w := Options{Workers: workers}.workers()
+	if w > n {
+		w = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for i := 0; i < w; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range next {
+				results[idx], errs[idx] = fn(idx)
+			}
+		}()
+	}
+	for idx := 0; idx < n; idx++ {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// SeedSweep builds a mission per seed from a shared builder — the common
+// shape of the experiment sweeps (same scenario, different randomness).
+func SeedSweep(name string, seeds []int64, build func(seed int64) (sim.RunConfig, error)) []Mission {
+	missions := make([]Mission, len(seeds))
+	for i, seed := range seeds {
+		seed := seed
+		missions[i] = Mission{
+			Name:  fmt.Sprintf("%s/seed-%d", name, seed),
+			Seed:  seed,
+			Build: func() (sim.RunConfig, error) { return build(seed) },
+		}
+	}
+	return missions
+}
+
+// Seeds returns n deterministic seeds derived from base, spaced so derived
+// per-run RNG streams do not trivially collide.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)*101
+	}
+	return out
+}
+
+// SortedModuleNames returns the union of module names across the successful
+// results, sorted — a convenience for per-module reporting.
+func (r *Report) SortedModuleNames() []string {
+	seen := map[string]bool{}
+	for _, res := range r.Results {
+		if res.Err != nil {
+			continue
+		}
+		for name := range res.Metrics.Modules {
+			seen[name] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ModuleStats sums a named module's switching statistics across the
+// successful results.
+func (r *Report) ModuleStats(module string) sim.ModuleStats {
+	var agg sim.ModuleStats
+	for _, res := range r.Results {
+		if res.Err != nil {
+			continue
+		}
+		if s, ok := res.Metrics.Modules[module]; ok {
+			agg.Disengagements += s.Disengagements
+			agg.Reengagements += s.Reengagements
+			agg.ACTime += s.ACTime
+			agg.SCTime += s.SCTime
+		}
+	}
+	return agg
+}

@@ -1,0 +1,185 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/plant"
+	"repro/internal/sim"
+)
+
+// surveillanceMission builds a short, fully isolated surveillance run.
+func surveillanceMission(seed int64) (sim.RunConfig, error) {
+	mcfg := mission.DefaultStackConfig(seed)
+	mcfg.App = mission.AppConfig{Points: []geom.Vec3{
+		geom.V(3, 3, 2), geom.V(46, 46, 2),
+	}}
+	st, err := mission.Build(mcfg)
+	if err != nil {
+		return sim.RunConfig{}, err
+	}
+	return sim.RunConfig{
+		Stack:           st,
+		Initial:         plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
+		Duration:        5 * time.Second,
+		Seed:            seed,
+		CheckInvariants: true,
+	}, nil
+}
+
+// TestFleetSmoke runs a small batch across several workers (under -race this
+// proves per-run isolation: each worker builds its own stack, store,
+// executor and RNG).
+func TestFleetSmoke(t *testing.T) {
+	missions := SeedSweep("smoke", Seeds(1, 6), surveillanceMission)
+	rep := Run(missions, Options{Workers: 4})
+	if err := rep.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Missions != 6 || rep.Failed != 0 {
+		t.Fatalf("missions=%d failed=%d", rep.Missions, rep.Failed)
+	}
+	if rep.Crashes != 0 {
+		t.Errorf("protected missions crashed: %d", rep.Crashes)
+	}
+	if rep.SimTime < 6*5*time.Second {
+		t.Errorf("aggregate sim time = %v, want ≥ 30s", rep.SimTime)
+	}
+	for i, res := range rep.Results {
+		if res.Name != missions[i].Name || res.Seed != missions[i].Seed {
+			t.Errorf("result %d out of order: %q seed %d", i, res.Name, res.Seed)
+		}
+		if res.Metrics.Duration == 0 {
+			t.Errorf("result %d has no metrics", i)
+		}
+	}
+	if got := rep.Format(); got == "" {
+		t.Error("empty Format")
+	}
+}
+
+// TestFleetDeterministic proves a batch's verdicts are identical at any
+// worker count: per-run isolation means parallelism cannot change results.
+func TestFleetDeterministic(t *testing.T) {
+	run := func(workers int) []MissionResult {
+		rep := Run(SeedSweep("det", Seeds(42, 4), surveillanceMission), Options{Workers: workers})
+		if err := rep.FirstErr(); err != nil {
+			t.Fatal(err)
+		}
+		return rep.Results
+	}
+	serial, parallel := run(1), run(4)
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+			t.Errorf("mission %d metrics diverge between 1 and 4 workers:\n%+v\nvs\n%+v", i, a.Metrics, b.Metrics)
+		}
+		if !reflect.DeepEqual(a.Switches, b.Switches) {
+			t.Errorf("mission %d switch logs diverge", i)
+		}
+	}
+}
+
+// TestFleetAggregates checks the report's switch accounting against the
+// per-result logs.
+func TestFleetAggregates(t *testing.T) {
+	missions := SeedSweep("agg", Seeds(7, 3), func(seed int64) (sim.RunConfig, error) {
+		cfg, err := surveillanceMission(seed)
+		cfg.Duration = 8 * time.Second
+		return cfg, err
+	})
+	rep := Run(missions, Options{Workers: 2})
+	if err := rep.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	wantDiseng := 0
+	for _, res := range rep.Results {
+		wantDiseng += res.Disengagements()
+	}
+	if rep.Disengagements != wantDiseng {
+		t.Errorf("report disengagements = %d, switch logs say %d", rep.Disengagements, wantDiseng)
+	}
+	for _, name := range rep.SortedModuleNames() {
+		s := rep.ModuleStats(name)
+		if s.ACTime+s.SCTime == 0 {
+			t.Errorf("module %q accumulated no mode time", name)
+		}
+	}
+}
+
+// TestFleetFailuresIsolated checks that one failing mission neither aborts
+// the batch nor contaminates the other verdicts.
+func TestFleetFailuresIsolated(t *testing.T) {
+	boom := errors.New("boom")
+	missions := []Mission{
+		{Name: "ok-1", Seed: 1, Build: func() (sim.RunConfig, error) { return surveillanceMission(1) }},
+		{Name: "bad", Seed: 2, Build: func() (sim.RunConfig, error) { return sim.RunConfig{}, boom }},
+		{Name: "ok-2", Seed: 3, Build: func() (sim.RunConfig, error) { return surveillanceMission(3) }},
+	}
+	rep := Run(missions, Options{Workers: 3})
+	if rep.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", rep.Failed)
+	}
+	if !errors.Is(rep.FirstErr(), boom) {
+		t.Errorf("FirstErr = %v", rep.FirstErr())
+	}
+	if rep.Results[0].Err != nil || rep.Results[2].Err != nil {
+		t.Error("healthy missions reported errors")
+	}
+	if rep.Results[1].Err == nil {
+		t.Error("failing mission reported no error")
+	}
+}
+
+func TestMapOrderAndBound(t *testing.T) {
+	var inFlight, peak atomic.Int32
+	const workers, n = 3, 20
+	out, err := Map(workers, n, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inFlight.Add(-1)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds bound %d", p, workers)
+	}
+}
+
+func TestMapFirstErrorByIndex(t *testing.T) {
+	_, err := Map(4, 10, func(i int) (int, error) {
+		if i == 3 || i == 7 {
+			return 0, fmt.Errorf("fail-%d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != "fail-3" {
+		t.Fatalf("err = %v, want fail-3 (first by index)", err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map[int](4, 0, func(i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}

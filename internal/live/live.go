@@ -154,6 +154,14 @@ func (r *Runner) SetTopic(name pubsub.TopicName, v pubsub.Value) error {
 // the read → compute → publish step.
 func (r *Runner) runNode(n *node.Node) {
 	defer r.wg.Done()
+	// Input plumbing owned by this goroutine: dense topic IDs (the interner
+	// is immutable, so resolving them needs no lock) and a reusable input
+	// valuation refilled every tick instead of allocated.
+	inIDs, err := r.store.IDs(n.Inputs())
+	if err != nil {
+		return // a node whose inputs are undeclared can never fire
+	}
+	inBuf := make(pubsub.Valuation, len(inIDs))
 	if phase := n.Schedule().Phase; phase > 0 {
 		select {
 		case <-time.After(phase):
@@ -169,7 +177,7 @@ func (r *Runner) runNode(n *node.Node) {
 		select {
 		case <-ticker.C:
 			var err error
-			local, err = r.fire(n, local, mod, isDM)
+			local, err = r.fire(n, local, mod, isDM, inIDs, inBuf)
 			if err != nil {
 				// A failing node stops firing; the RTA discipline keeps the
 				// rest of the system safe (its partner controller is gated
@@ -183,7 +191,9 @@ func (r *Runner) runNode(n *node.Node) {
 }
 
 // fire performs one step of the node under the runner's lock discipline.
-func (r *Runner) fire(n *node.Node, local node.State, mod *rta.Module, isDM bool) (node.State, error) {
+// inIDs and inBuf are owned by the node's goroutine (filled under the lock,
+// read outside it, never shared).
+func (r *Runner) fire(n *node.Node, local node.State, mod *rta.Module, isDM bool, inIDs []pubsub.TopicID, inBuf pubsub.Valuation) (node.State, error) {
 	r.mu.Lock()
 	if isDM {
 		// The runner's mode map is the authoritative DM state: a coordinated
@@ -191,13 +201,10 @@ func (r *Runner) fire(n *node.Node, local node.State, mod *rta.Module, isDM bool
 		// the last tick.
 		local = r.modes[mod.Name()]
 	}
-	in, err := r.store.Read(n.Inputs())
+	r.store.ReadInto(inIDs, inBuf)
 	r.mu.Unlock()
-	if err != nil {
-		return local, err
-	}
 
-	next, out, err := n.Step(local, in)
+	next, out, err := n.Step(local, inBuf)
 	if err != nil {
 		return local, err
 	}

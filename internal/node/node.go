@@ -25,6 +25,10 @@ type State any
 // publish on (a subset of) the output topics. Nondeterminism, where needed,
 // is injected through the environment or through explicit RNG state carried
 // in the local state.
+//
+// The input valuation is only valid for the duration of the call: the
+// executor reuses the backing buffer across firings, so implementations must
+// copy any values they need beyond the step rather than retain the map.
 type StepFunc func(st State, in pubsub.Valuation) (State, pubsub.Valuation, error)
 
 // InitFunc produces the initial local state l0 of a node.

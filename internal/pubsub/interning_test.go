@@ -1,0 +1,294 @@
+package pubsub
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestStoreIDsDenseSorted(t *testing.T) {
+	s, err := NewStore(Topic{Name: "zeta", Default: 26}, Topic{Name: "alpha", Default: 1}, Topic{Name: "mid", Default: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := s.Interner()
+	if in.Len() != 3 {
+		t.Fatalf("Len = %d", in.Len())
+	}
+	// IDs are dense and follow sorted name order.
+	for want, name := range []TopicName{"alpha", "mid", "zeta"} {
+		id, ok := in.Lookup(name)
+		if !ok || id != TopicID(want) {
+			t.Errorf("Lookup(%q) = %v, %v; want %d", name, id, ok, want)
+		}
+		if got := in.Name(id); got != name {
+			t.Errorf("Name(%d) = %q", id, got)
+		}
+	}
+	if _, ok := in.Lookup("nope"); ok {
+		t.Error("Lookup of undeclared topic succeeded")
+	}
+	if _, err := s.IDs([]TopicName{"alpha", "nope"}); err == nil {
+		t.Error("IDs with undeclared topic should fail")
+	}
+}
+
+func TestStoreIDAccessors(t *testing.T) {
+	s, _ := NewStore(Topic{Name: "a", Default: 1}, Topic{Name: "b", Default: 2}, Topic{Name: "c", Default: 3})
+	ids, err := s.IDs([]TopicName{"c", "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.GetID(ids[0]); got.(int) != 3 {
+		t.Errorf("GetID(c) = %v", got)
+	}
+	s.SetID(ids[1], 10)
+	if v, _ := s.Get("a"); v.(int) != 10 {
+		t.Errorf("Get after SetID = %v", v)
+	}
+}
+
+func TestStoreReadIntoReusesBuffer(t *testing.T) {
+	s, _ := NewStore(Topic{Name: "a", Default: 1}, Topic{Name: "b", Default: 2}, Topic{Name: "c", Default: 3})
+	ids, _ := s.IDs([]TopicName{"a", "c"})
+	dst := make(Valuation, len(ids))
+	// Leftovers from a previous firing must be cleared.
+	dst["stale"] = 99
+	s.ReadInto(ids, dst)
+	if !reflect.DeepEqual(dst, Valuation{"a": 1, "c": 3}) {
+		t.Fatalf("ReadInto = %v", dst)
+	}
+	// The executor refills the same buffer every firing: steady-state reads
+	// must not allocate.
+	allocs := testing.AllocsPerRun(200, func() {
+		s.ReadInto(ids, dst)
+	})
+	if allocs != 0 {
+		t.Errorf("ReadInto allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestValuationCloneInto(t *testing.T) {
+	v := Valuation{"a": 1, "b": 2}
+	dst := Valuation{"stale": 9}
+	got := v.CloneInto(dst)
+	if !reflect.DeepEqual(got, Valuation{"a": 1, "b": 2}) {
+		t.Errorf("CloneInto = %v", got)
+	}
+	got["a"] = 99
+	if v["a"].(int) != 1 {
+		t.Error("CloneInto shares storage with the source")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		v.CloneInto(dst)
+	})
+	if allocs != 0 {
+		t.Errorf("CloneInto allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestBusRingWraparound drives the ring through several fill/drain cycles so
+// head wraps the backing slice in every position.
+func TestBusRingWraparound(t *testing.T) {
+	b := NewBus()
+	if err := b.Subscribe("n", "t", 3); err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for cycle := 0; cycle < 5; cycle++ {
+		// Overfill: capacity 3, publish 4+cycle, oldest dropped.
+		count := 4 + cycle
+		first := next
+		for i := 0; i < count; i++ {
+			b.Publish("t", next)
+			next++
+		}
+		if v, ok := b.Latest("n", "t"); !ok || v.(int) != next-1 {
+			t.Fatalf("cycle %d: Latest = %v, %v; want %d", cycle, v, ok, next-1)
+		}
+		got := b.Drain("n", "t")
+		want := []Value{first + count - 3, first + count - 2, first + count - 1}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cycle %d: Drain = %v, want %v", cycle, got, want)
+		}
+	}
+}
+
+func TestBusCapacityOne(t *testing.T) {
+	b := NewBus()
+	if err := b.Subscribe("n", "t", 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		b.Publish("t", i)
+	}
+	got := b.Drain("n", "t")
+	if len(got) != 1 || got[0].(int) != 9 {
+		t.Errorf("Drain = %v, want [9]", got)
+	}
+}
+
+func TestBusPartialDrainInterleaved(t *testing.T) {
+	b := NewBus()
+	if err := b.Subscribe("n", "t", 4); err != nil {
+		t.Fatal(err)
+	}
+	b.Publish("t", 1)
+	b.Publish("t", 2)
+	if got := b.Drain("n", "t"); !reflect.DeepEqual(got, []Value{1, 2}) {
+		t.Fatalf("first drain = %v", got)
+	}
+	// After a drain the ring restarts; overflow again from a reset head.
+	for i := 3; i <= 8; i++ {
+		b.Publish("t", i)
+	}
+	if got := b.Drain("n", "t"); !reflect.DeepEqual(got, []Value{5, 6, 7, 8}) {
+		t.Fatalf("second drain = %v", got)
+	}
+}
+
+// TestBusConcurrentMixed hammers one bus from publishers, drainers, peekers
+// and re-subscribers at once; run under -race this proves the middleware is
+// safe for concurrent use by fleet workers sharing a bus.
+func TestBusConcurrentMixed(t *testing.T) {
+	b := NewBus()
+	topics := []TopicName{"t0", "t1", "t2"}
+	for _, topic := range topics {
+		for s := 0; s < 3; s++ {
+			if err := b.Subscribe(fmt.Sprintf("sub-%d", s), topic, 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				b.Publish(topics[i%len(topics)], w*1000+i)
+			}
+		}(w)
+	}
+	for s := 0; s < 3; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sub := fmt.Sprintf("sub-%d", s)
+			for i := 0; i < 500; i++ {
+				switch i % 3 {
+				case 0:
+					b.Drain(sub, topics[i%len(topics)])
+				case 1:
+					b.Latest(sub, topics[i%len(topics)])
+				case 2:
+					_ = b.Subscribe(sub, topics[i%len(topics)], 8)
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+}
+
+// TestStoreConcurrentReaders checks the read-only paths (interner lookups,
+// dense reads) are safe for any number of concurrent readers — what the
+// fleet engine relies on when runs share static topic metadata.
+func TestStoreConcurrentReaders(t *testing.T) {
+	s, _ := NewStore(Topic{Name: "a", Default: 1}, Topic{Name: "b", Default: 2}, Topic{Name: "c", Default: 3})
+	ids, _ := s.IDs([]TopicName{"a", "b", "c"})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make(Valuation, len(ids))
+			for i := 0; i < 300; i++ {
+				s.ReadInto(ids, dst)
+				if dst["a"].(int)+dst["b"].(int)+dst["c"].(int) != 6 {
+					t.Error("inconsistent read")
+					return
+				}
+				if _, err := s.Get("b"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStoresIsolated runs writers against per-goroutine stores built from
+// the same topic declarations: the per-run isolation the fleet engine's
+// workers depend on (no shared mutable state between stores).
+func TestStoresIsolated(t *testing.T) {
+	topics := []Topic{{Name: "x", Default: 0}, {Name: "y", Default: 0}}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := NewStore(topics...)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 500; i++ {
+				if err := s.Set("x", w*10000+i); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, _ := s.Get("x"); v.(int) != w*10000+i {
+					t.Errorf("worker %d read foreign value %v", w, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func BenchmarkStoreReadInto(b *testing.B) {
+	s, _ := NewStore(Topic{Name: "a", Default: 1}, Topic{Name: "b", Default: 2},
+		Topic{Name: "c", Default: 3}, Topic{Name: "d", Default: 4})
+	ids, _ := s.IDs([]TopicName{"a", "b", "c", "d"})
+	dst := make(Valuation, len(ids))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ReadInto(ids, dst)
+	}
+}
+
+func BenchmarkStoreReadAlloc(b *testing.B) {
+	s, _ := NewStore(Topic{Name: "a", Default: 1}, Topic{Name: "b", Default: 2},
+		Topic{Name: "c", Default: 3}, Topic{Name: "d", Default: 4})
+	names := []TopicName{"a", "b", "c", "d"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read(names); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBusPublishOverflow measures the overflow path: with the ring this
+// is O(1) per publish regardless of capacity (the previous implementation
+// shifted the whole buffer with copy on every overflowing publish).
+func BenchmarkBusPublishOverflow(b *testing.B) {
+	bus := NewBus()
+	const capacity = 1024
+	if err := bus.Subscribe("n", "t", capacity); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < capacity; i++ {
+		bus.Publish("t", i) // fill: every further publish overflows
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish("t", i)
+	}
+}

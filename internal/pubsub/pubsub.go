@@ -4,6 +4,14 @@
 // message topics. Following the paper's simplified presentation, the Store
 // models the globally visible value of each topic; Bus additionally models
 // the per-subscriber local buffers of a real ROS-style middleware.
+//
+// Topic names are interned: every Store assigns each declared topic a dense
+// TopicID at construction, so the per-firing hot path of the executor can
+// read and write values through slice indexing instead of allocating and
+// hashing map keys on every node firing. The Interner is immutable after
+// construction and therefore safe to share between any number of concurrent
+// readers — the fleet engine relies on this when it runs many executors in
+// parallel.
 package pubsub
 
 import (
@@ -14,6 +22,11 @@ import (
 
 // TopicName is the unique name e ∈ T of a topic.
 type TopicName string
+
+// TopicID is the dense index a Store's Interner assigns to a declared topic.
+// IDs are contiguous, start at 0, and follow the sorted order of the topic
+// names, so they are deterministic for a given topic set.
+type TopicID int
 
 // Value is the value v ∈ V carried by a topic. Values must be treated as
 // immutable once published: publishers hand off ownership.
@@ -30,11 +43,18 @@ type Valuation map[TopicName]Value
 
 // Clone returns a shallow copy of the valuation.
 func (v Valuation) Clone() Valuation {
-	out := make(Valuation, len(v))
+	return v.CloneInto(make(Valuation, len(v)))
+}
+
+// CloneInto copies the valuation into dst, clearing dst first, and returns
+// dst. Reusing a destination across calls avoids the per-call map allocation
+// of Clone: refilling a map with the same keys reuses its buckets.
+func (v Valuation) CloneInto(dst Valuation) Valuation {
+	clear(dst)
 	for k, val := range v {
-		out[k] = val
+		dst[k] = val
 	}
-	return out
+	return dst
 }
 
 // Names returns the sorted topic names present in the valuation.
@@ -47,75 +67,169 @@ func (v Valuation) Names() []TopicName {
 	return names
 }
 
+// Interner maps topic names to dense TopicIDs and back. It is built once per
+// Store and never mutated afterwards, so lookups need no synchronisation.
+type Interner struct {
+	ids   map[TopicName]TopicID
+	names []TopicName // index = TopicID, sorted
+}
+
+// newInterner assigns dense IDs to the given names in sorted order. Names
+// must be non-empty and unique.
+func newInterner(names []TopicName) (*Interner, error) {
+	sorted := make([]TopicName, len(names))
+	copy(sorted, names)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	in := &Interner{
+		ids:   make(map[TopicName]TopicID, len(sorted)),
+		names: sorted,
+	}
+	for i, n := range sorted {
+		if n == "" {
+			return nil, fmt.Errorf("topic with empty name")
+		}
+		if i > 0 && n == sorted[i-1] {
+			return nil, fmt.Errorf("duplicate topic %q", n)
+		}
+		in.ids[n] = TopicID(i)
+	}
+	return in, nil
+}
+
+// Lookup returns the ID of a declared topic name.
+func (in *Interner) Lookup(name TopicName) (TopicID, bool) {
+	id, ok := in.ids[name]
+	return id, ok
+}
+
+// Name returns the topic name of a dense ID. It panics on an out-of-range ID,
+// which is always a programming error (IDs only come from Lookup).
+func (in *Interner) Name(id TopicID) TopicName { return in.names[id] }
+
+// Len returns the number of interned topics.
+func (in *Interner) Len() int { return len(in.names) }
+
 // Store holds the globally visible value of every declared topic
-// (Topics ∈ T → V in the operational semantics, Figure 11). Store is not
-// safe for concurrent use; the discrete-event executor is single-threaded.
+// (Topics ∈ T → V in the operational semantics, Figure 11), backed by a
+// dense slice indexed by TopicID. Store is not safe for concurrent use; the
+// discrete-event executor is single-threaded, and the fleet engine gives
+// every run its own Store.
 type Store struct {
-	values map[TopicName]Value
+	interner *Interner
+	values   []Value
 }
 
 // NewStore creates a store with the given topics at their default values.
 // Duplicate topic declarations are an error.
 func NewStore(topics ...Topic) (*Store, error) {
-	s := &Store{values: make(map[TopicName]Value, len(topics))}
+	names := make([]TopicName, len(topics))
+	for i, t := range topics {
+		names[i] = t.Name
+	}
+	interner, err := newInterner(names)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{interner: interner, values: make([]Value, interner.Len())}
 	for _, t := range topics {
-		if t.Name == "" {
-			return nil, fmt.Errorf("topic with empty name")
-		}
-		if _, dup := s.values[t.Name]; dup {
-			return nil, fmt.Errorf("duplicate topic %q", t.Name)
-		}
-		s.values[t.Name] = t.Default
+		id, _ := interner.Lookup(t.Name)
+		s.values[id] = t.Default
 	}
 	return s, nil
 }
 
+// Interner returns the store's immutable name↔ID mapping.
+func (s *Store) Interner() *Interner { return s.interner }
+
 // Has reports whether the topic is declared.
 func (s *Store) Has(name TopicName) bool {
-	_, ok := s.values[name]
+	_, ok := s.interner.Lookup(name)
 	return ok
+}
+
+// ID resolves a declared topic name to its dense ID.
+func (s *Store) ID(name TopicName) (TopicID, error) {
+	id, ok := s.interner.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("undeclared topic %q", name)
+	}
+	return id, nil
+}
+
+// IDs resolves a set of topic names to their dense IDs. Callers cache the
+// result (the executor does so per node) and use GetID/SetID/ReadInto on
+// the hot path.
+func (s *Store) IDs(names []TopicName) ([]TopicID, error) {
+	out := make([]TopicID, len(names))
+	for i, n := range names {
+		id, err := s.ID(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = id
+	}
+	return out, nil
 }
 
 // Get returns the current value of the topic.
 func (s *Store) Get(name TopicName) (Value, error) {
-	v, ok := s.values[name]
-	if !ok {
-		return nil, fmt.Errorf("undeclared topic %q", name)
+	id, err := s.ID(name)
+	if err != nil {
+		return nil, err
 	}
-	return v, nil
+	return s.values[id], nil
 }
+
+// GetID returns the current value of the topic with the given dense ID.
+func (s *Store) GetID(id TopicID) Value { return s.values[id] }
 
 // Set updates the value of a declared topic.
 func (s *Store) Set(name TopicName, v Value) error {
-	if _, ok := s.values[name]; !ok {
-		return fmt.Errorf("undeclared topic %q", name)
+	id, err := s.ID(name)
+	if err != nil {
+		return err
 	}
-	s.values[name] = v
+	s.values[id] = v
 	return nil
 }
+
+// SetID updates the value of the topic with the given dense ID.
+func (s *Store) SetID(id TopicID, v Value) { s.values[id] = v }
 
 // Read returns the valuation of the given topic names (Topics[X]).
 func (s *Store) Read(names []TopicName) (Valuation, error) {
 	out := make(Valuation, len(names))
 	for _, n := range names {
-		v, ok := s.values[n]
-		if !ok {
-			return nil, fmt.Errorf("undeclared topic %q", n)
+		v, err := s.Get(n)
+		if err != nil {
+			return nil, err
 		}
 		out[n] = v
 	}
 	return out, nil
 }
 
+// ReadInto fills dst with the values of the given pre-resolved topic IDs,
+// clearing dst first. Refilling the same map with the same keys performs no
+// allocation, which is what the executor's per-firing input reads rely on.
+func (s *Store) ReadInto(ids []TopicID, dst Valuation) {
+	clear(dst)
+	for _, id := range ids {
+		dst[s.interner.names[id]] = s.values[id]
+	}
+}
+
 // Write applies the output valuation to the store (Topics' = out ∪ Topics).
+// Undeclared names are rejected before any value is applied.
 func (s *Store) Write(out Valuation) error {
 	for n := range out {
-		if _, ok := s.values[n]; !ok {
+		if _, ok := s.interner.Lookup(n); !ok {
 			return fmt.Errorf("undeclared topic %q", n)
 		}
 	}
 	for n, v := range out {
-		s.values[n] = v
+		id, _ := s.interner.Lookup(n)
+		s.values[id] = v
 	}
 	return nil
 }
@@ -123,19 +237,16 @@ func (s *Store) Write(out Valuation) error {
 // Snapshot returns a copy of the full topic valuation.
 func (s *Store) Snapshot() Valuation {
 	out := make(Valuation, len(s.values))
-	for k, v := range s.values {
-		out[k] = v
+	for id, v := range s.values {
+		out[s.interner.names[id]] = v
 	}
 	return out
 }
 
 // Names returns the sorted names of all declared topics.
 func (s *Store) Names() []TopicName {
-	names := make([]TopicName, 0, len(s.values))
-	for k := range s.values {
-		names = append(names, k)
-	}
-	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	names := make([]TopicName, len(s.interner.names))
+	copy(names, s.interner.names)
 	return names
 }
 
@@ -148,9 +259,23 @@ type Bus struct {
 	subs map[TopicName]map[string]*buffer
 }
 
+// buffer is a fixed-capacity ring: head is the index of the oldest message
+// and n the number buffered. Publishing into a full ring overwrites the
+// oldest slot and advances head — an O(1) oldest-drop, where the previous
+// implementation shifted the whole backing slice on every overflow.
 type buffer struct {
-	msgs []Value
-	cap  int
+	ring []Value
+	head int
+	n    int
+}
+
+func (b *buffer) push(v Value) {
+	b.ring[(b.head+b.n)%len(b.ring)] = v
+	if b.n == len(b.ring) {
+		b.head = (b.head + 1) % len(b.ring) // full: dropped the oldest
+	} else {
+		b.n++
+	}
 }
 
 // NewBus creates an empty bus.
@@ -172,7 +297,7 @@ func (b *Bus) Subscribe(sub string, topic TopicName, capacity int) error {
 		m = make(map[string]*buffer)
 		b.subs[topic] = m
 	}
-	m[sub] = &buffer{cap: capacity}
+	m[sub] = &buffer{ring: make([]Value, capacity)}
 	return nil
 }
 
@@ -183,11 +308,7 @@ func (b *Bus) Publish(topic TopicName, v Value) int {
 	defer b.mu.Unlock()
 	n := 0
 	for _, buf := range b.subs[topic] {
-		if len(buf.msgs) >= buf.cap {
-			copy(buf.msgs, buf.msgs[1:])
-			buf.msgs = buf.msgs[:len(buf.msgs)-1]
-		}
-		buf.msgs = append(buf.msgs, v)
+		buf.push(v)
 		n++
 	}
 	return n
@@ -203,12 +324,16 @@ func (b *Bus) Drain(sub string, topic TopicName) []Value {
 		return nil
 	}
 	buf := m[sub]
-	if buf == nil || len(buf.msgs) == 0 {
+	if buf == nil || buf.n == 0 {
 		return nil
 	}
-	out := make([]Value, len(buf.msgs))
-	copy(out, buf.msgs)
-	buf.msgs = buf.msgs[:0]
+	out := make([]Value, buf.n)
+	for i := 0; i < buf.n; i++ {
+		j := (buf.head + i) % len(buf.ring)
+		out[i] = buf.ring[j]
+		buf.ring[j] = nil // release for GC
+	}
+	buf.head, buf.n = 0, 0
 	return out
 }
 
@@ -222,8 +347,8 @@ func (b *Bus) Latest(sub string, topic TopicName) (Value, bool) {
 		return nil, false
 	}
 	buf := m[sub]
-	if buf == nil || len(buf.msgs) == 0 {
+	if buf == nil || buf.n == 0 {
 		return nil, false
 	}
-	return buf.msgs[len(buf.msgs)-1], true
+	return buf.ring[(buf.head+buf.n-1)%len(buf.ring)], true
 }

@@ -139,6 +139,29 @@ type environment struct {
 	step    time.Duration
 	run     *runner
 	groundZ float64
+	// Dense topic IDs, resolved once at run setup: Advance and observe run
+	// every physics sub-step (default 5 ms), so topic access goes through
+	// the store's slice-backed ID path instead of name lookups.
+	cmdID, stateID, wpID pubsub.TopicID
+}
+
+// resolveTopics caches the hot-path topic IDs.
+func (e *environment) resolveTopics(topics *pubsub.Store) error {
+	for _, t := range []struct {
+		name pubsub.TopicName
+		id   *pubsub.TopicID
+	}{
+		{mission.TopicCmd, &e.cmdID},
+		{mission.TopicDroneState, &e.stateID},
+		{mission.TopicWaypoint, &e.wpID},
+	} {
+		id, err := topics.ID(t.name)
+		if err != nil {
+			return err
+		}
+		*t.id = id
+	}
+	return nil
 }
 
 func (e *environment) Advance(prev, now time.Duration, topics *pubsub.Store) error {
@@ -148,10 +171,8 @@ func (e *environment) Advance(prev, now time.Duration, topics *pubsub.Store) err
 			dt = now - t
 		}
 		cmd := geom.Vec3{}
-		if raw, err := topics.Get(mission.TopicCmd); err == nil && raw != nil {
-			if v, ok := raw.(geom.Vec3); ok {
-				cmd = v
-			}
+		if v, ok := topics.GetID(e.cmdID).(geom.Vec3); ok {
+			cmd = v
 		}
 		before := e.state
 		e.state = e.drone.Step(e.state, cmd, dt)
@@ -161,7 +182,8 @@ func (e *environment) Advance(prev, now time.Duration, topics *pubsub.Store) err
 			break
 		}
 	}
-	return topics.Set(mission.TopicDroneState, e.drone.Observe(e.state))
+	topics.SetID(e.stateID, e.drone.Observe(e.state))
+	return nil
 }
 
 // runner owns the mutable run bookkeeping.
@@ -200,25 +222,21 @@ func (r *runner) observe(t time.Duration, before, after plant.State, topics *pub
 
 	// Ground contact: intended landing vs crash.
 	if !after.Landed && after.Pos.Z <= 0 {
-		if wpRaw, err := topics.Get(mission.TopicWaypoint); err == nil && wpRaw != nil {
-			if wp, ok := wpRaw.(mission.Waypoint); ok && wp.Valid && wp.Land && after.Vel.Norm() < 1.0 {
-				r.env.state = plant.Land(after)
-				r.markLanded(t)
-				return
-			}
+		if wp, ok := topics.GetID(r.env.wpID).(mission.Waypoint); ok && wp.Valid && wp.Land && after.Vel.Norm() < 1.0 {
+			r.env.state = plant.Land(after)
+			r.markLanded(t)
+			return
 		}
 		r.markCrash(t, after.Pos)
 		return
 	}
 	// Intentional touchdown above ground level.
 	if !after.Landed {
-		if wpRaw, err := topics.Get(mission.TopicWaypoint); err == nil && wpRaw != nil {
-			if wp, ok := wpRaw.(mission.Waypoint); ok && wp.Valid && wp.Land &&
-				after.Pos.Z <= r.env.groundZ && after.Vel.Norm() < 1.2 {
-				r.env.state = plant.Land(after)
-				r.markLanded(t)
-				return
-			}
+		if wp, ok := topics.GetID(r.env.wpID).(mission.Waypoint); ok && wp.Valid && wp.Land &&
+			after.Pos.Z <= r.env.groundZ && after.Vel.Norm() < 1.2 {
+			r.env.state = plant.Land(after)
+			r.markLanded(t)
+			return
 		}
 	}
 	if plant.Crashed(after, r.ws) {
@@ -305,6 +323,9 @@ func Run(cfg RunConfig) (*Result, error) {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 	r.exec = exec
+	if err := env.resolveTopics(exec.Topics()); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	for _, m := range cfg.Stack.System.Modules() {
 		r.modeNow[m.Name()] = rta.ModeSC
 		r.modeSince[m.Name()] = 0
