@@ -4,87 +4,116 @@
 // internal scenario sweeps are dispatched through the fleet engine
 // (internal/fleet) bounded at -workers, so sweep-heavy experiments saturate
 // the available cores while reports still print in order as they finish.
+// The extra "scenarios" experiment sweeps the whole declarative workload
+// registry (internal/scenario) through the fleet scenario-grid builder.
 //
 // Usage:
 //
-//	soter-bench [-seed N] [-quick] [-workers N] [experiment ...]
+//	soter-bench [-seed N] [-quick] [-workers N] [-json] [experiment ...]
 //
 // With no arguments every experiment runs. Experiments: fig5r fig5l fig6
-// fig10 fig12a fig12b fig12b-fleet fig12c sec5c sec5d abl-delta abl-return.
+// fig10 fig12a fig12b fig12b-fleet fig12c sec5c sec5d abl-delta abl-return
+// scenarios.
+//
+// With -json, one JSON object per experiment is written to stdout instead of
+// the text tables: {"name", "wall_ms", "crashes", "ac_fraction"} — the
+// machine-readable feed for BENCH_*.json perf-trajectory tracking.
+// ac_fraction is -1 for experiments with no AC/SC switching layer.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
-	"sort"
+	"os"
+	"slices"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
+	"repro/internal/scenario"
 )
+
+// outcome is one experiment's printable table plus the headline numbers the
+// -json feed reports.
+type outcome struct {
+	text       string
+	crashes    int
+	acFraction float64 // -1 when the experiment has no AC/SC layer
+}
 
 type experiment struct {
 	name string
-	run  func(seed int64, quick bool, workers int) (string, error)
+	run  func(seed int64, quick bool, workers int) (outcome, error)
 }
 
 func catalogue() []experiment {
 	return []experiment{
-		{"fig5r", func(seed int64, quick bool, _ int) (string, error) {
+		{"fig5r", func(seed int64, quick bool, _ int) (outcome, error) {
 			laps := 10
 			if quick {
 				laps = 5
 			}
-			return experiments.Fig5Right(experiments.Fig5Config{Seed: seed, Laps: laps}).Format(), nil
+			res := experiments.Fig5Right(experiments.Fig5Config{Seed: seed, Laps: laps})
+			return outcome{res.Format(), res.CollidingLaps, -1}, nil
 		}},
-		{"fig5l", func(seed int64, quick bool, workers int) (string, error) {
+		{"fig5l", func(seed int64, quick bool, workers int) (outcome, error) {
 			laps := 12
 			if quick {
 				laps = 6
 			}
-			return experiments.Fig5Left(experiments.Fig5Config{Seed: seed + 4, Laps: laps, Workers: workers}).Format(), nil
+			res := experiments.Fig5Left(experiments.Fig5Config{Seed: seed + 4, Laps: laps, Workers: workers})
+			return outcome{res.Format(), res.UnsafeLoops, -1}, nil
 		}},
-		{"fig6", func(seed int64, _ bool, _ int) (string, error) {
+		{"fig6", func(seed int64, _ bool, _ int) (outcome, error) {
 			res, err := experiments.Fig6(experiments.Fig6Config{Seed: seed + 1})
 			if err != nil {
-				return "", err
+				return outcome{}, err
 			}
-			return res.Format(), nil
+			return outcome{res.Format(), boolCount(res.Crashed), -1}, nil
 		}},
-		{"fig10", func(seed int64, quick bool, _ int) (string, error) {
+		{"fig10", func(seed int64, quick bool, _ int) (outcome, error) {
 			samples := 4000
 			if quick {
 				samples = 1000
 			}
 			res, err := experiments.Fig10(experiments.Fig10Config{Seed: seed + 2, Samples: samples})
 			if err != nil {
-				return "", err
+				return outcome{}, err
 			}
-			return res.Format(), nil
+			return outcome{res.Format(), 0, -1}, nil
 		}},
-		{"fig12a", func(seed int64, quick bool, _ int) (string, error) {
+		{"fig12a", func(seed int64, quick bool, _ int) (outcome, error) {
 			tours := 2
 			if quick {
 				tours = 1
 			}
 			res, err := experiments.Fig12a(experiments.Fig12aConfig{Seed: seed + 3, Tours: tours})
 			if err != nil {
-				return "", err
+				return outcome{}, err
 			}
-			return res.Format(), nil
+			out := outcome{text: res.Format(), acFraction: -1}
+			for _, row := range res.Rows {
+				out.crashes += row.Collisions
+				if row.Mode == "rta" {
+					out.acFraction = row.ACFraction
+				}
+			}
+			return out, nil
 		}},
-		{"fig12b", func(seed int64, quick bool, _ int) (string, error) {
+		{"fig12b", func(seed int64, quick bool, _ int) (outcome, error) {
 			d := 2 * time.Minute
 			if quick {
 				d = 45 * time.Second
 			}
 			res, err := experiments.Fig12b(experiments.Fig12bConfig{Seed: seed + 6, Duration: d, Faults: true})
 			if err != nil {
-				return "", err
+				return outcome{}, err
 			}
-			return res.Format(), nil
+			return outcome{res.Format(), boolCount(res.Crashed), res.ACFraction}, nil
 		}},
-		{"fig12b-fleet", func(seed int64, quick bool, workers int) (string, error) {
+		{"fig12b-fleet", func(seed int64, quick bool, workers int) (outcome, error) {
 			cfg := experiments.Fig12bFleetConfig{
 				BaseSeed: seed + 6, Missions: 8, Duration: time.Minute,
 				Faults: true, Workers: workers,
@@ -95,18 +124,18 @@ func catalogue() []experiment {
 			}
 			res, err := experiments.Fig12bFleet(cfg)
 			if err != nil {
-				return "", err
+				return outcome{}, err
 			}
-			return res.Format(), nil
+			return outcome{res.Format(), res.Crashes, res.MeanACFraction}, nil
 		}},
-		{"fig12c", func(seed int64, _ bool, _ int) (string, error) {
+		{"fig12c", func(seed int64, _ bool, _ int) (outcome, error) {
 			res, err := experiments.Fig12c(experiments.Fig12cConfig{Seed: seed + 10})
 			if err != nil {
-				return "", err
+				return outcome{}, err
 			}
-			return res.Format(), nil
+			return outcome{res.Format(), boolCount(res.Crashed), -1}, nil
 		}},
-		{"sec5c", func(seed int64, quick bool, _ int) (string, error) {
+		{"sec5c", func(seed int64, quick bool, _ int) (outcome, error) {
 			cfg := experiments.Sec5cConfig{Seed: seed + 2, Queries: 40, ClosedLoop: time.Minute}
 			if quick {
 				cfg.Queries = 15
@@ -114,11 +143,11 @@ func catalogue() []experiment {
 			}
 			res, err := experiments.Sec5c(cfg)
 			if err != nil {
-				return "", err
+				return outcome{}, err
 			}
-			return res.Format(), nil
+			return outcome{res.Format(), boolCount(res.ClosedCrashed), res.PlannerACFrac}, nil
 		}},
-		{"sec5d", func(seed int64, quick bool, workers int) (string, error) {
+		{"sec5d", func(seed int64, quick bool, workers int) (outcome, error) {
 			cfg := experiments.Sec5dConfig{Seed: seed + 12, SimHours: 0.5, Workers: workers}
 			if quick {
 				cfg.SimHours = 0.1
@@ -126,33 +155,97 @@ func catalogue() []experiment {
 			}
 			res, err := experiments.Sec5d(cfg)
 			if err != nil {
-				return "", err
+				return outcome{}, err
 			}
-			return res.Format(), nil
+			out := outcome{text: res.Format(), acFraction: -1}
+			for _, row := range res.Rows {
+				out.crashes += row.Crashes
+			}
+			if len(res.Rows) > 0 {
+				out.acFraction = res.Rows[0].ACFraction
+			}
+			return out, nil
 		}},
-		{"abl-delta", func(seed int64, quick bool, workers int) (string, error) {
+		{"abl-delta", func(seed int64, quick bool, workers int) (outcome, error) {
 			cfg := experiments.AblationConfig{Seed: seed + 5, Workers: workers}
 			if quick {
 				cfg.Duration = 40 * time.Second
 			}
 			res, err := experiments.AblationDelta(cfg)
 			if err != nil {
-				return "", err
+				return outcome{}, err
 			}
-			return res.Format(), nil
+			out := outcome{text: res.Format(), acFraction: -1}
+			for _, row := range res.Rows {
+				out.crashes += boolCount(row.Crashed)
+				// Report the paper-default grid point (Δ=100ms, hysteresis 2).
+				if row.Delta == 100*time.Millisecond && row.Hysteresis == 2.0 {
+					out.acFraction = row.ACFraction
+				}
+			}
+			return out, nil
 		}},
-		{"abl-return", func(seed int64, quick bool, workers int) (string, error) {
+		{"abl-return", func(seed int64, quick bool, workers int) (outcome, error) {
 			cfg := experiments.AblationConfig{Seed: seed + 5, Workers: workers}
 			if quick {
 				cfg.Duration = 40 * time.Second
 			}
 			res, err := experiments.AblationReturn(cfg)
 			if err != nil {
-				return "", err
+				return outcome{}, err
 			}
-			return res.Format(), nil
+			out := outcome{text: res.Format(), acFraction: -1}
+			for _, row := range res.Rows {
+				out.crashes += boolCount(row.Crashed)
+			}
+			if len(res.Rows) > 0 {
+				out.acFraction = res.Rows[0].ACFraction
+			}
+			return out, nil
+		}},
+		{"scenarios", func(seed int64, quick bool, workers int) (outcome, error) {
+			cfg := fleet.GridConfig{
+				Specs:    scenario.All(),
+				Seeds:    fleet.Seeds(seed, 3),
+				Duration: 30 * time.Second,
+			}
+			if quick {
+				cfg.Seeds = fleet.Seeds(seed, 2)
+				cfg.Duration = 10 * time.Second
+			}
+			rep := fleet.Run(fleet.ScenarioGrid(cfg), fleet.Options{Workers: workers})
+			if err := rep.FirstErr(); err != nil {
+				return outcome{}, err
+			}
+			out := outcome{text: formatScenarioSweep(rep), crashes: rep.Crashes, acFraction: -1}
+			if s := rep.ModuleStats("safe-motion-primitive"); s.ACTime+s.SCTime > 0 {
+				out.acFraction = s.ACFraction()
+			}
+			return out, nil
 		}},
 	}
+}
+
+// formatScenarioSweep appends per-mission verdict lines to the fleet summary.
+func formatScenarioSweep(rep *fleet.Report) string {
+	text := "Scenario registry sweep (every registered workload x seeds)\n" + rep.Format()
+	for _, res := range rep.Results {
+		if res.Err != nil {
+			text += fmt.Sprintf("  %-44s ERROR: %v\n", res.Name, res.Err)
+			continue
+		}
+		m := res.Metrics
+		text += fmt.Sprintf("  %-44s crashed=%-5v landed=%-5v AC→SC=%-3d targets=%d\n",
+			res.Name, m.Crashed, m.Landed, res.Disengagements(), m.TargetsVisited)
+	}
+	return text
+}
+
+func boolCount(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func main() {
@@ -167,6 +260,7 @@ func run() error {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	quick := flag.Bool("quick", false, "run scaled-down configurations")
 	workers := flag.Int("workers", 0, "fleet worker-pool bound (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment instead of text tables")
 	flag.Parse()
 
 	cat := catalogue()
@@ -176,7 +270,7 @@ func run() error {
 		byName[e.name] = e
 		names = append(names, e.name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 
 	selected := flag.Args()
 	if len(selected) == 0 {
@@ -194,6 +288,7 @@ func run() error {
 	// parallelism lives inside each experiment, whose scenario sweeps fan
 	// out through the fleet engine bounded at -workers, so total concurrency
 	// never exceeds the flag.
+	enc := json.NewEncoder(os.Stdout)
 	start := time.Now()
 	for _, name := range selected {
 		expStart := time.Now()
@@ -201,8 +296,22 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Printf("%s\n[%s took %v]\n\n", out, name, time.Since(expStart).Round(time.Millisecond))
+		wall := time.Since(expStart)
+		if *jsonOut {
+			if err := enc.Encode(struct {
+				Name       string  `json:"name"`
+				WallMS     float64 `json:"wall_ms"`
+				Crashes    int     `json:"crashes"`
+				ACFraction float64 `json:"ac_fraction"`
+			}{name, float64(wall.Microseconds()) / 1000, out.crashes, out.acFraction}); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Printf("%s\n[%s took %v]\n\n", out.text, name, wall.Round(time.Millisecond))
 	}
-	fmt.Printf("[%d experiments took %v total]\n", len(selected), time.Since(start).Round(time.Millisecond))
+	if !*jsonOut {
+		fmt.Printf("[%d experiments took %v total]\n", len(selected), time.Since(start).Round(time.Millisecond))
+	}
 	return nil
 }

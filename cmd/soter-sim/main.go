@@ -1,7 +1,11 @@
-// Command soter-sim runs the RTA-protected drone surveillance stack in the
-// closed-loop simulator and reports the paper's metrics (disengagements,
-// AC-control fraction, safety outcome). It can optionally dump the flown
-// trajectory as CSV for plotting the Figure 12 style figures.
+// Command soter-sim runs a named scenario from the declarative workload
+// registry (internal/scenario) in the closed-loop simulator and reports the
+// paper's metrics (disengagements, AC-control fraction, safety outcome). It
+// can optionally dump the flown trajectory as CSV for plotting the Figure 12
+// style figures.
+//
+// Flags other than -scenario act as overrides: only the flags explicitly set
+// on the command line are applied on top of the selected scenario's Spec.
 //
 // Usage:
 //
@@ -9,8 +13,9 @@
 //
 // Examples:
 //
-//	soter-sim -duration 2m -faults
-//	soter-sim -protection ac-only -duration 1m
+//	soter-sim -list-scenarios
+//	soter-sim -scenario canyon-corridor -duration 1m
+//	soter-sim -scenario surveillance-city -protection ac-only
 //	soter-sim -planner-bug skip-edge-check -random-targets
 //	soter-sim -csv trajectory.csv
 package main
@@ -20,15 +25,15 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
+	"slices"
 	"strconv"
+	"strings"
 	"time"
 
-	"repro/internal/controller"
 	"repro/internal/geom"
 	"repro/internal/mission"
 	"repro/internal/plan"
-	"repro/internal/plant"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -42,99 +47,142 @@ func main() {
 
 func run() error {
 	var (
-		seed       = flag.Int64("seed", 1, "simulation seed")
-		duration   = flag.Duration("duration", 2*time.Minute, "mission duration")
-		protection = flag.String("protection", "rta", "motion layer: rta | ac-only | sc-only")
-		acKind     = flag.String("ac", "aggressive", "advanced controller: aggressive | learned")
-		faults     = flag.Bool("faults", false, "inject periodic full-thrust faults into the AC")
-		plannerBug = flag.String("planner-bug", "none", "RRT* defect: none | skip-edge-check | unchecked-shortcut | stale-obstacles")
-		random     = flag.Bool("random-targets", false, "draw random surveillance targets (Section V-D style)")
-		battery    = flag.Float64("battery", 1.0, "initial battery charge fraction")
-		drainX     = flag.Float64("drain", 1.0, "battery drain multiplier")
-		jitter     = flag.Float64("jitter", 0, "per-firing probability of a scheduling outage (SC/DM nodes)")
-		delta      = flag.Duration("delta", 100*time.Millisecond, "motion-primitive DM period Δ")
-		hysteresis = flag.Float64("hysteresis", 2.0, "φsafer horizon multiplier")
-		csvPath    = flag.String("csv", "", "write the flown trajectory to this CSV file")
+		scenarioName = flag.String("scenario", "surveillance-city", "named scenario from the registry (see -list-scenarios)")
+		list         = flag.Bool("list-scenarios", false, "print the scenario catalog and exit")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+		duration     = flag.Duration("duration", 2*time.Minute, "mission duration")
+		protection   = flag.String("protection", "rta", "motion layer: rta | ac-only | sc-only")
+		acKind       = flag.String("ac", "aggressive", "advanced controller: aggressive | learned")
+		faults       = flag.Bool("faults", false, "inject periodic full-thrust faults into the AC")
+		plannerBug   = flag.String("planner-bug", "none", "RRT* defect: none | skip-edge-check | unchecked-shortcut | stale-obstacles")
+		random       = flag.Bool("random-targets", false, "draw random surveillance targets (Section V-D style)")
+		battery      = flag.Float64("battery", 1.0, "initial battery charge fraction")
+		drainX       = flag.Float64("drain", 1.0, "battery drain multiplier")
+		jitter       = flag.Float64("jitter", 0, "per-firing probability of a scheduling outage (SC/DM nodes)")
+		delta        = flag.Duration("delta", 100*time.Millisecond, "motion-primitive DM period Δ")
+		hysteresis   = flag.Float64("hysteresis", 2.0, "φsafer horizon multiplier")
+		csvPath      = flag.String("csv", "", "write the flown trajectory to this CSV file")
 	)
 	flag.Parse()
 
-	params := plant.DefaultParams()
-	params.IdleDrainPerSec *= *drainX
-	params.AccelDrainPerSec *= *drainX
+	if *list {
+		printCatalog()
+		return nil
+	}
+	spec, ok := scenario.Get(*scenarioName)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (have: %s)", *scenarioName, strings.Join(scenario.Names(), ", "))
+	}
 
-	cfg := mission.DefaultStackConfig(*seed)
-	cfg.PlantParams = params
-	cfg.MotionDelta = *delta
-	cfg.Hysteresis = *hysteresis
-	switch *protection {
-	case "rta":
-		cfg.Protection = mission.ProtectRTA
-	case "ac-only":
-		cfg.Protection = mission.ProtectACOnly
-	case "sc-only":
-		cfg.Protection = mission.ProtectSCOnly
-	default:
-		return fmt.Errorf("unknown -protection %q", *protection)
+	// Apply only the flags the user actually set as Spec overrides.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["duration"] {
+		spec.Duration = *duration
 	}
-	switch *acKind {
-	case "aggressive":
-		cfg.AC = mission.ACAggressive
-	case "learned":
-		cfg.AC = mission.ACLearned
-	default:
-		return fmt.Errorf("unknown -ac %q", *acKind)
-	}
-	switch *plannerBug {
-	case "none":
-	case "skip-edge-check":
-		cfg.PlannerBug = plan.BugSkipEdgeCheck
-	case "unchecked-shortcut":
-		cfg.PlannerBug = plan.BugUncheckedShortcut
-	case "stale-obstacles":
-		cfg.PlannerBug = plan.BugStaleObstacles
-	default:
-		return fmt.Errorf("unknown -planner-bug %q", *plannerBug)
-	}
-	if *random {
-		cfg.App = mission.AppConfig{Random: true}
-	} else {
-		cfg.App = mission.AppConfig{Points: []geom.Vec3{
-			geom.V(3, 3, 2), geom.V(46, 3, 2.5), geom.V(46, 46, 2), geom.V(3, 46, 2.5),
-		}}
-	}
-	if *faults {
-		for i := 0; ; i++ {
-			start := time.Duration(10+12*i) * time.Second
-			if start >= *duration {
-				break
-			}
-			cfg.ACFaults = append(cfg.ACFaults, controller.Fault{
-				Kind:  controller.FaultFullThrust,
-				Start: start,
-				End:   start + 1200*time.Millisecond,
-				Param: geom.V(1, 0.4, 0),
-			})
+	if set["protection"] {
+		switch *protection {
+		case "rta":
+			spec.Protection = mission.ProtectRTA
+		case "ac-only":
+			spec.Protection = mission.ProtectACOnly
+		case "sc-only":
+			spec.Protection = mission.ProtectSCOnly
+		default:
+			return fmt.Errorf("unknown -protection %q", *protection)
 		}
 	}
-
-	st, err := mission.Build(cfg)
-	if err != nil {
-		return fmt.Errorf("build stack: %w", err)
+	if set["ac"] {
+		switch *acKind {
+		case "aggressive":
+			spec.AC = mission.ACAggressive
+		case "learned":
+			spec.AC = mission.ACLearned
+		default:
+			return fmt.Errorf("unknown -ac %q", *acKind)
+		}
+	}
+	if set["planner-bug"] {
+		switch *plannerBug {
+		case "none":
+			spec.PlannerBug, spec.PlannerBugRate = plan.BugNone, 0
+		case "skip-edge-check":
+			spec.PlannerBug = plan.BugSkipEdgeCheck
+		case "unchecked-shortcut":
+			spec.PlannerBug = plan.BugUncheckedShortcut
+		case "stale-obstacles":
+			spec.PlannerBug = plan.BugStaleObstacles
+		default:
+			return fmt.Errorf("unknown -planner-bug %q", *plannerBug)
+		}
+	}
+	if set["faults"] {
+		if *faults {
+			spec.Faults = scenario.FaultProfile{
+				First: 10 * time.Second,
+				Every: 12 * time.Second,
+				Len:   1200 * time.Millisecond,
+				Dir:   geom.V(1, 0.4, 0),
+			}
+		} else {
+			spec.Faults = scenario.FaultProfile{}
+		}
+	}
+	if set["random-targets"] {
+		spec.RandomTargets = *random
+		if *random {
+			spec.Targets = nil
+		} else if len(spec.Targets) == 0 {
+			// Turning randomness off on a random-target scenario: fall back
+			// to the default city tour rather than an unrunnable Spec.
+			spec.Targets = []geom.Vec3{
+				geom.V(3, 3, 2), geom.V(46, 3, 2.5), geom.V(46, 46, 2), geom.V(3, 46, 2.5),
+			}
+		}
+	}
+	// The Spec layer treats zero as "use the default", so an explicit zero
+	// here would be silently ignored — reject it instead.
+	if set["battery"] {
+		if *battery <= 0 || *battery > 1 {
+			return fmt.Errorf("-battery %v outside (0, 1]", *battery)
+		}
+		spec.InitialBattery = *battery
+	}
+	if set["drain"] {
+		if *drainX <= 0 {
+			return fmt.Errorf("-drain %v must be positive", *drainX)
+		}
+		spec.DrainMultiple = *drainX
+	}
+	if set["jitter"] {
+		spec.JitterProb = *jitter
+		spec.JitterSCOnly = true
+	}
+	if set["delta"] {
+		if *delta <= 0 {
+			return fmt.Errorf("-delta %v must be positive", *delta)
+		}
+		spec.MotionDelta = *delta
+	}
+	if set["hysteresis"] {
+		if *hysteresis < 1 {
+			// mission.Build silently clamps sub-1 values to the default.
+			return fmt.Errorf("-hysteresis %v must be >= 1", *hysteresis)
+		}
+		spec.Hysteresis = *hysteresis
 	}
 
-	fmt.Printf("SOTER simulator — protection=%s ac=%s Δ=%v planner-bug=%s jitter=%.4f\n",
-		*protection, *acKind, *delta, *plannerBug, *jitter)
+	rcfg, err := spec.Build(*seed)
+	if err != nil {
+		return err
+	}
+	rcfg.RecordTrajectory = *csvPath != ""
 
-	res, err := sim.Run(sim.RunConfig{
-		Stack:            st,
-		Initial:          plant.State{Pos: geom.V(3, 3, 2), Battery: *battery},
-		Duration:         *duration,
-		Seed:             *seed,
-		JitterProb:       *jitter,
-		JitterSCOnly:     true,
-		CheckInvariants:  true,
-		RecordTrajectory: *csvPath != "",
-	})
+	fmt.Printf("SOTER simulator — scenario=%s protection=%s ac=%s Δ=%v planner-bug=%v jitter=%.4f\n",
+		spec.Name, rcfg.Stack.Config.Protection, acName(rcfg.Stack.Config.AC),
+		rcfg.Stack.Config.MotionDelta, spec.PlannerBug, spec.JitterProb)
+
+	res, err := sim.Run(rcfg)
 	if err != nil {
 		return fmt.Errorf("simulate: %w", err)
 	}
@@ -152,6 +200,23 @@ func run() error {
 	return nil
 }
 
+func acName(k mission.ACKind) string {
+	if k == mission.ACLearned {
+		return "learned"
+	}
+	return "aggressive"
+}
+
+func printCatalog() {
+	specs := scenario.All()
+	fmt.Printf("%d registered scenarios:\n\n", len(specs))
+	for _, s := range specs {
+		fmt.Printf("%-22s %s\n", s.Name, s.Description)
+		fmt.Printf("%-22s default duration %v\n\n", "", s.Duration)
+	}
+	fmt.Println("run one with: soter-sim -scenario <name>")
+}
+
 func printMetrics(res *sim.Result) {
 	m := res.Metrics
 	fmt.Printf("\nmission:  %v flown, %.1f m, %d targets visited\n", m.Duration, m.DistanceFlown, m.TargetsVisited)
@@ -167,7 +232,7 @@ func printMetrics(res *sim.Result) {
 	for name := range m.Modules {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, name := range names {
 		s := m.Modules[name]
 		fmt.Printf("module %-22s disengagements=%-3d re-engagements=%-3d AC-control=%.1f%%\n",

@@ -6,6 +6,10 @@
 // mission metrics the paper's evaluation reports: disengagements,
 // re-engagements, AC-control fraction and safety outcome, plus the flown
 // trajectory's recovery points (the N1/N2 events of Figure 12b).
+//
+// The workload itself is the registered surveillance-city scenario
+// (internal/scenario); this example shows the intended application shape:
+// fetch a Spec by name, override what you need, Build, simulate.
 package main
 
 import (
@@ -14,11 +18,8 @@ import (
 	"log"
 	"time"
 
-	"repro/internal/controller"
-	"repro/internal/geom"
-	"repro/internal/mission"
-	"repro/internal/plant"
 	"repro/internal/rta"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -33,43 +34,23 @@ func main() {
 }
 
 func run(seed int64, duration time.Duration, withFaults bool) error {
-	cfg := mission.DefaultStackConfig(seed)
-	cfg.App = mission.AppConfig{
-		Points: []geom.Vec3{
-			geom.V(3, 3, 2),
-			geom.V(46, 3, 2.5),
-			geom.V(46, 46, 2),
-			geom.V(3, 46, 2.5),
-			geom.V(25, 33, 3),
-		},
-	}
-	if withFaults {
-		for i := 0; i < 8; i++ {
-			start := time.Duration(10+12*i) * time.Second
-			cfg.ACFaults = append(cfg.ACFaults, controller.Fault{
-				Kind:  controller.FaultFullThrust,
-				Start: start,
-				End:   start + 1200*time.Millisecond,
-				Param: geom.V(1, 0.4, 0),
-			})
+	spec := scenario.MustGet("surveillance-city").With(scenario.Override{Apply: func(sp *scenario.Spec) {
+		sp.Duration = duration
+		if !withFaults {
+			sp.Faults = scenario.FaultProfile{}
 		}
-	}
-	st, err := mission.Build(cfg)
+	}})
+	rcfg, err := spec.Build(seed)
 	if err != nil {
-		return fmt.Errorf("build stack: %w", err)
+		return fmt.Errorf("build scenario: %w", err)
 	}
+	rcfg.RecordTrajectory = true
 
+	st := rcfg.Stack
 	fmt.Printf("SOTER drone surveillance — %d obstacles, Δ=%v, faults=%v\n",
 		st.Config.Workspace.NumObstacles(), st.Config.MotionDelta, withFaults)
 
-	res, err := sim.Run(sim.RunConfig{
-		Stack:            st,
-		Initial:          plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
-		Duration:         duration,
-		Seed:             seed,
-		CheckInvariants:  true,
-		RecordTrajectory: true,
-	})
+	res, err := sim.Run(rcfg)
 	if err != nil {
 		return fmt.Errorf("simulate: %w", err)
 	}

@@ -9,7 +9,7 @@ package calendar
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 )
 
@@ -74,10 +74,8 @@ func (c *Calendar) Add(nodeName string, s Schedule) error {
 		return fmt.Errorf("node %q already scheduled", nodeName)
 	}
 	c.scheds[nodeName] = s
-	i := sort.SearchStrings(c.names, nodeName)
-	c.names = append(c.names, "")
-	copy(c.names[i+1:], c.names[i:])
-	c.names[i] = nodeName
+	i, _ := slices.BinarySearch(c.names, nodeName)
+	c.names = slices.Insert(c.names, i, nodeName)
 	return nil
 }
 

@@ -4,12 +4,9 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/controller"
 	"repro/internal/fleet"
 	"repro/internal/geom"
-	"repro/internal/mission"
-	"repro/internal/plant"
-	"repro/internal/sim"
+	"repro/internal/scenario"
 )
 
 // AblationConfig parameterises the design-choice ablations of Remark 3.3.
@@ -54,31 +51,30 @@ func (r AblationDeltaResult) Format() string {
 	return t.String()
 }
 
-// ablationMission builds the faulted surveillance mission used by both
-// ablations.
-func ablationMission(seed int64, delta time.Duration, hysteresis float64, oneWay bool) (*mission.Stack, error) {
-	mcfg := mission.DefaultStackConfig(seed)
-	mcfg.MotionDelta = delta
-	mcfg.Hysteresis = hysteresis
-	mcfg.OneWaySwitching = oneWay
-	mcfg.WithPlannerModule = true
-	mcfg.App = mission.AppConfig{Points: []geom.Vec3{
-		geom.V(3, 3, 2), geom.V(46, 3, 2.5), geom.V(46, 46, 2), geom.V(3, 46, 2.5),
-	}}
-	for i := 0; i < 6; i++ {
-		start := time.Duration(8+11*i) * time.Second
-		mcfg.ACFaults = append(mcfg.ACFaults, controller.Fault{
-			Kind:  controller.FaultFullThrust,
-			Start: start,
-			End:   start + 1200*time.Millisecond,
-			Param: geom.V(1, 0.4, 0),
-		})
+// ablationSpec declares the faulted surveillance mission both ablations
+// sweep over: the city tour under heavy periodic AC faulting, so the
+// switching policy under study is exercised many times per run.
+func ablationSpec(duration time.Duration) scenario.Spec {
+	return scenario.Spec{
+		Name: "ablation",
+		Targets: []geom.Vec3{
+			geom.V(3, 3, 2), geom.V(46, 3, 2.5), geom.V(46, 46, 2), geom.V(3, 46, 2.5),
+		},
+		Faults: scenario.FaultProfile{
+			First:      8 * time.Second,
+			Every:      11 * time.Second,
+			Len:        1200 * time.Millisecond,
+			Dir:        geom.V(1, 0.4, 0),
+			MaxWindows: 6,
+		},
+		Duration:           duration,
+		NoInvariantMonitor: true, // the sweep scores switching, not φInv counts
 	}
-	return mission.Build(mcfg)
 }
 
-// AblationDelta runs the sweep: the 12-point (Δ, hysteresis) grid is
-// dispatched as one fleet batch, every grid point an isolated mission.
+// AblationDelta runs the sweep: the 12-point (Δ, hysteresis) grid is a
+// scenario-grid batch — one base spec, one override per grid point — every
+// grid point an isolated mission.
 func AblationDelta(cfg AblationConfig) (AblationDeltaResult, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 80 * time.Second
@@ -88,31 +84,25 @@ func AblationDelta(cfg AblationConfig) (AblationDeltaResult, error) {
 		hyst  float64
 	}
 	var grid []gridPoint
+	var overrides []scenario.Override
 	for _, delta := range []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond} {
 		for _, hyst := range []float64{1.0, 2.0, 4.0} {
-			grid = append(grid, gridPoint{delta, hyst})
+			gp := gridPoint{delta, hyst}
+			grid = append(grid, gp)
+			overrides = append(overrides, scenario.Override{
+				Name: fmt.Sprintf("Δ=%v/hyst=%.1f", gp.delta, gp.hyst),
+				Apply: func(sp *scenario.Spec) {
+					sp.MotionDelta = gp.delta
+					sp.Hysteresis = gp.hyst
+				},
+			})
 		}
 	}
-	missions := make([]fleet.Mission, len(grid))
-	for i, gp := range grid {
-		gp := gp
-		missions[i] = fleet.Mission{
-			Name: fmt.Sprintf("Δ=%v/hyst=%.1f", gp.delta, gp.hyst),
-			Seed: cfg.Seed,
-			Build: func() (sim.RunConfig, error) {
-				st, err := ablationMission(cfg.Seed, gp.delta, gp.hyst, false)
-				if err != nil {
-					return sim.RunConfig{}, err
-				}
-				return sim.RunConfig{
-					Stack:    st,
-					Initial:  plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
-					Duration: cfg.Duration,
-					Seed:     cfg.Seed,
-				}, nil
-			},
-		}
-	}
+	missions := fleet.ScenarioGrid(fleet.GridConfig{
+		Specs:     []scenario.Spec{ablationSpec(cfg.Duration)},
+		Overrides: overrides,
+		Seeds:     []int64{cfg.Seed},
+	})
 	rep := fleet.Run(missions, fleet.Options{Workers: cfg.Workers})
 	if err := rep.FirstErr(); err != nil {
 		return AblationDeltaResult{}, fmt.Errorf("ablation: %w", err)
@@ -164,7 +154,7 @@ func (r AblationReturnResult) Format() string {
 }
 
 // AblationReturn runs the comparison, both switching policies simulating
-// concurrently as a two-mission fleet batch.
+// concurrently as a two-override scenario-grid batch.
 func AblationReturn(cfg AblationConfig) (AblationReturnResult, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 80 * time.Second
@@ -176,26 +166,19 @@ func AblationReturn(cfg AblationConfig) (AblationReturnResult, error) {
 		{"two-way (SOTER)", false},
 		{"one-way (Simplex)", true},
 	}
-	missions := make([]fleet.Mission, len(policies))
+	overrides := make([]scenario.Override, len(policies))
 	for i, pol := range policies {
 		pol := pol
-		missions[i] = fleet.Mission{
-			Name: pol.name,
-			Seed: cfg.Seed,
-			Build: func() (sim.RunConfig, error) {
-				st, err := ablationMission(cfg.Seed, 100*time.Millisecond, 2.0, pol.oneWay)
-				if err != nil {
-					return sim.RunConfig{}, err
-				}
-				return sim.RunConfig{
-					Stack:    st,
-					Initial:  plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
-					Duration: cfg.Duration,
-					Seed:     cfg.Seed,
-				}, nil
-			},
+		overrides[i] = scenario.Override{
+			Name:  pol.name,
+			Apply: func(sp *scenario.Spec) { sp.OneWaySwitching = pol.oneWay },
 		}
 	}
+	missions := fleet.ScenarioGrid(fleet.GridConfig{
+		Specs:     []scenario.Spec{ablationSpec(cfg.Duration)},
+		Overrides: overrides,
+		Seeds:     []int64{cfg.Seed},
+	})
 	rep := fleet.Run(missions, fleet.Options{Workers: cfg.Workers})
 	if err := rep.FirstErr(); err != nil {
 		return AblationReturnResult{}, fmt.Errorf("ablation return: %w", err)

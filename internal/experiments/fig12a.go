@@ -4,9 +4,8 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/geom"
 	"repro/internal/mission"
-	"repro/internal/plant"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -47,49 +46,29 @@ func (r Fig12aResult) Format() string {
 	return t.String()
 }
 
-// fig12aStack builds the motion-layer-only stack on the corner-hazard
-// workspace: no planner or battery module, direct waypoint tour, with the
-// selected protection mode and mild fault injection that perturbs the AC at
-// the corners (the paper's unsafe third-party primitive).
-func fig12aStack(mode mission.ProtectionMode, seed int64) (*mission.Stack, []geom.Vec3, error) {
-	ws, tour := fig5Workspace()
-	cfg := mission.DefaultStackConfig(seed)
-	cfg.Workspace = ws
-	cfg.WithPlannerModule = false
-	cfg.WithBatteryModule = false
-	// The tour waypoints intentionally sit close to the hazard blocks.
-	cfg.PlanMargin = cfg.Margin + 0.05
-	cfg.Protection = mode
-	cfg.App = mission.AppConfig{Points: tour, Workspace: ws}
-	// No fault injection here: the aggressive controller's own corner
-	// overshoot (Figure 5 right) is the hazard, exactly as in the paper's
-	// timing comparison.
-	st, err := mission.Build(cfg)
-	return st, tour, err
-}
-
-// Fig12a runs the three-way comparison.
+// Fig12a runs the three-way comparison: the registered corner-hazard-tour
+// scenario (motion layer only, waypoints deliberately near the hazard
+// blocks; the aggressive controller's own corner overshoot is the hazard,
+// exactly as in the paper's timing comparison) with the protection mode as
+// the only override.
 func Fig12a(cfg Fig12aConfig) (Fig12aResult, error) {
 	if cfg.Tours <= 0 {
 		cfg.Tours = 2
 	}
+	base := scenario.MustGet("corner-hazard-tour")
 	var res Fig12aResult
 	for _, mode := range []mission.ProtectionMode{
 		mission.ProtectACOnly, mission.ProtectRTA, mission.ProtectSCOnly,
 	} {
-		st, tour, err := fig12aStack(mode, cfg.Seed)
+		mode := mode
+		spec := base.With(scenario.Override{Apply: func(sp *scenario.Spec) { sp.Protection = mode }})
+		rcfg, err := spec.Build(cfg.Seed)
 		if err != nil {
 			return Fig12aResult{}, fmt.Errorf("fig12a %v: %w", mode, err)
 		}
-		visits := cfg.Tours * len(tour)
-		out, err := sim.Run(sim.RunConfig{
-			Stack:                st,
-			Initial:              plant.State{Pos: tour[len(tour)-1], Battery: 1},
-			Duration:             10 * time.Minute,
-			Seed:                 cfg.Seed,
-			KeepFlyingAfterCrash: true, // score collisions, finish the tour
-			StopAfterVisits:      visits,
-		})
+		rcfg.KeepFlyingAfterCrash = true // score collisions, finish the tour
+		rcfg.StopAfterVisits = cfg.Tours * len(base.Targets)
+		out, err := sim.Run(rcfg)
 		if err != nil {
 			return Fig12aResult{}, fmt.Errorf("fig12a %v: %w", mode, err)
 		}

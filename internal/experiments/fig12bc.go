@@ -4,12 +4,9 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/controller"
 	"repro/internal/fleet"
-	"repro/internal/geom"
-	"repro/internal/mission"
-	"repro/internal/plant"
 	"repro/internal/rta"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -59,41 +56,15 @@ func (r Fig12bResult) Format() string {
 	return t.String()
 }
 
-// fig12bRunConfig assembles the faulted surveillance mission used by Fig12b
-// and its fleet sweep.
-func fig12bRunConfig(seed int64, duration time.Duration, faults bool) (sim.RunConfig, error) {
-	mcfg := mission.DefaultStackConfig(seed)
-	mcfg.App = mission.AppConfig{
-		Points: []geom.Vec3{
-			geom.V(3, 3, 2), geom.V(46, 3, 2.5), geom.V(46, 46, 2),
-			geom.V(3, 46, 2.5), geom.V(25, 33, 3),
-		},
-	}
-	if faults {
-		for i := 0; ; i++ {
-			start := time.Duration(9+13*i) * time.Second
-			if start >= duration {
-				break
-			}
-			mcfg.ACFaults = append(mcfg.ACFaults, controller.Fault{
-				Kind:  controller.FaultFullThrust,
-				Start: start,
-				End:   start + 1200*time.Millisecond,
-				Param: geom.V(1, 0.4, 0),
-			})
+// fig12bSpec declares the Figure 12b mission as an override of the
+// registered surveillance-city scenario.
+func fig12bSpec(duration time.Duration, faults bool) scenario.Spec {
+	return scenario.MustGet("surveillance-city").With(scenario.Override{Apply: func(sp *scenario.Spec) {
+		sp.Duration = duration
+		if !faults {
+			sp.Faults = scenario.FaultProfile{}
 		}
-	}
-	st, err := mission.Build(mcfg)
-	if err != nil {
-		return sim.RunConfig{}, err
-	}
-	return sim.RunConfig{
-		Stack:           st,
-		Initial:         plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
-		Duration:        duration,
-		Seed:            seed,
-		CheckInvariants: true,
-	}, nil
+	}})
 }
 
 // Fig12b runs the surveillance mission.
@@ -101,7 +72,7 @@ func Fig12b(cfg Fig12bConfig) (Fig12bResult, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 2 * time.Minute
 	}
-	rcfg, err := fig12bRunConfig(cfg.Seed, cfg.Duration, cfg.Faults)
+	rcfg, err := fig12bSpec(cfg.Duration, cfg.Faults).Build(cfg.Seed)
 	if err != nil {
 		return Fig12bResult{}, fmt.Errorf("fig12b: %w", err)
 	}
@@ -165,37 +136,23 @@ func (r Fig12cResult) Format() string {
 
 // Fig12c runs the battery-safety experiment.
 func Fig12c(cfg Fig12cConfig) (Fig12cResult, error) {
-	if cfg.InitialCharge == 0 {
-		cfg.InitialCharge = 0.92
-	}
-	if cfg.DrainMultiple == 0 {
-		cfg.DrainMultiple = 30
-	}
-	params := plant.DefaultParams()
-	params.IdleDrainPerSec *= cfg.DrainMultiple
-	params.AccelDrainPerSec *= cfg.DrainMultiple
-
-	mcfg := mission.DefaultStackConfig(cfg.Seed)
-	mcfg.PlantParams = params
-	mcfg.App = mission.AppConfig{
-		Points: []geom.Vec3{
-			geom.V(3, 3, 2), geom.V(46, 3, 2), geom.V(46, 46, 2), geom.V(3, 46, 2),
-		},
-	}
-	st, err := mission.Build(mcfg)
+	spec := scenario.MustGet("battery-stress").With(scenario.Override{Apply: func(sp *scenario.Spec) {
+		if cfg.InitialCharge > 0 {
+			sp.InitialBattery = cfg.InitialCharge
+		}
+		if cfg.DrainMultiple > 0 {
+			sp.DrainMultiple = cfg.DrainMultiple
+		}
+	}})
+	rcfg, err := spec.Build(cfg.Seed)
 	if err != nil {
 		return Fig12cResult{}, fmt.Errorf("fig12c: %w", err)
 	}
-	out, err := sim.Run(sim.RunConfig{
-		Stack:           st,
-		Initial:         plant.State{Pos: geom.V(3, 3, 2), Battery: cfg.InitialCharge},
-		Duration:        10 * time.Minute,
-		Seed:            cfg.Seed,
-		CheckInvariants: true,
-	})
+	out, err := sim.Run(rcfg)
 	if err != nil {
 		return Fig12cResult{}, fmt.Errorf("fig12c: %w", err)
 	}
+	st := rcfg.Stack
 	m := out.Metrics
 	res := Fig12cResult{
 		Landed:      m.Landed,
@@ -265,10 +222,10 @@ func Fig12bFleet(cfg Fig12bFleetConfig) (Fig12bFleetResult, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = time.Minute
 	}
-	missions := fleet.SeedSweep("fig12b", fleet.Seeds(cfg.BaseSeed, cfg.Missions),
-		func(seed int64) (sim.RunConfig, error) {
-			return fig12bRunConfig(seed, cfg.Duration, cfg.Faults)
-		})
+	missions := fleet.ScenarioGrid(fleet.GridConfig{
+		Specs: []scenario.Spec{fig12bSpec(cfg.Duration, cfg.Faults)},
+		Seeds: fleet.Seeds(cfg.BaseSeed, cfg.Missions),
+	})
 	rep := fleet.Run(missions, fleet.Options{Workers: cfg.Workers})
 	if err := rep.FirstErr(); err != nil {
 		return Fig12bFleetResult{}, fmt.Errorf("fig12b fleet: %w", err)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/geom"
 	"repro/internal/plant"
+	"repro/internal/scenario"
 )
 
 // Fig5Config parameterises the Figure 5 experiments: unprotected third-party
@@ -45,28 +46,12 @@ func (r Fig5RightResult) Format() string {
 	return t.String()
 }
 
-// fig5Workspace builds the g1..g4 square with hazard blocks ("red regions")
-// placed just beyond each corner in the overshoot direction.
+// fig5Workspace resolves the g1..g4 corner-hazard layout shared with the
+// corner-hazard-tour scenario: the workspace lives in internal/geom and the
+// tour in the scenario catalog, so the unprotected Figure 5 run and the
+// protected Figure 12a comparison fly exactly the same geometry.
 func fig5Workspace() (*geom.Workspace, []geom.Vec3) {
-	bounds := geom.Box(geom.V(0, 0, 0), geom.V(30, 30, 8))
-	// The tour square.
-	g := []geom.Vec3{
-		geom.V(5, 5, 2), geom.V(25, 5, 2), geom.V(25, 25, 2), geom.V(5, 25, 2),
-	}
-	// Hazard blocks ("red regions") 0.7 m beyond each corner along the
-	// incoming direction — inside the ~1 m overshoot of the aggressive
-	// controller at cruise speed.
-	obstacles := []geom.AABB{
-		geom.Box(geom.V(25.7, 2, 0), geom.V(28.5, 8, 6)),   // past g2 (+x)
-		geom.Box(geom.V(22, 25.7, 0), geom.V(28, 28.5, 6)), // past g3 (+y)
-		geom.Box(geom.V(1.5, 22, 0), geom.V(4.3, 28, 6)),   // past g4 (-x)
-		geom.Box(geom.V(2, 1.5, 0), geom.V(8, 4.3, 6)),     // past g1 (-y)
-	}
-	ws, err := geom.NewWorkspace(bounds, obstacles)
-	if err != nil {
-		panic(err) // static geometry
-	}
-	return ws, g
+	return geom.CornerHazardWorkspace(), scenario.CornerTour()
 }
 
 // trackTour runs a bare controller (no RTA) around the waypoint tour,

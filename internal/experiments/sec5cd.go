@@ -5,12 +5,10 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/controller"
 	"repro/internal/fleet"
 	"repro/internal/geom"
-	"repro/internal/mission"
 	"repro/internal/plan"
-	"repro/internal/plant"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -107,25 +105,16 @@ func Sec5c(cfg Sec5cConfig) (Sec5cResult, error) {
 	}
 
 	if cfg.ClosedLoop > 0 {
-		mcfg := mission.DefaultStackConfig(cfg.Seed)
-		mcfg.PlannerBug = cfg.Bug
-		mcfg.PlannerBugRate = cfg.BugRate
-		// Plan at the tight safety margin: the experiment is about defective
-		// plans reaching the DM, so the planners must not add slack that
-		// masks the injected bug.
-		mcfg.PlanMargin = mcfg.Margin + 0.05
-		mcfg.App = mission.AppConfig{Random: true}
-		st, err := mission.Build(mcfg)
+		spec := scenario.MustGet("planner-bug-gauntlet").With(scenario.Override{Apply: func(sp *scenario.Spec) {
+			sp.PlannerBug = cfg.Bug
+			sp.PlannerBugRate = cfg.BugRate
+			sp.Duration = cfg.ClosedLoop
+		}})
+		rcfg, err := spec.Build(cfg.Seed)
 		if err != nil {
 			return Sec5cResult{}, fmt.Errorf("sec5c closed loop: %w", err)
 		}
-		out, err := sim.Run(sim.RunConfig{
-			Stack:           st,
-			Initial:         plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
-			Duration:        cfg.ClosedLoop,
-			Seed:            cfg.Seed,
-			CheckInvariants: true,
-		})
+		out, err := sim.Run(rcfg)
 		if err != nil {
 			return Sec5cResult{}, fmt.Errorf("sec5c closed loop: %w", err)
 		}
@@ -204,6 +193,10 @@ func Sec5d(cfg Sec5dConfig) (Sec5dResult, error) {
 	if cfg.JitterProb == 0 {
 		cfg.JitterProb = 0.006
 	}
+	// The endurance segments are the registered random-endurance scenario
+	// (randomly drawn targets, one sporadic AC failure per segment — the
+	// paper's rare third-party failures, 109 disengagements in 104 hours);
+	// the two scheduling configurations are jitter overrides of it.
 	var res Sec5dResult
 	for _, sched := range []struct {
 		name   string
@@ -215,33 +208,15 @@ func Sec5d(cfg Sec5dConfig) (Sec5dResult, error) {
 		row := Sec5dRow{Scheduling: sched.name}
 		segments := int(cfg.SimHours*60.0/float64(cfg.SegmentMinutes) + 0.5)
 		jitter := sched.jitter
-		missions := fleet.SeedSweep(sched.name, fleet.Seeds(cfg.Seed, segments),
-			func(seed int64) (sim.RunConfig, error) {
-				mcfg := mission.DefaultStackConfig(seed)
-				mcfg.App = mission.AppConfig{Random: true}
-				// A sporadic fault per segment gives the SCs something to
-				// catch, matching the paper's rare third-party failures (109
-				// disengagements in 104 hours).
-				start := time.Duration(60+seed%45) * time.Second
-				mcfg.ACFaults = append(mcfg.ACFaults, controller.Fault{
-					Kind:  controller.FaultFullThrust,
-					Start: start,
-					End:   start + 1100*time.Millisecond,
-					Param: geom.V(1, 0.5, 0),
-				})
-				st, err := mission.Build(mcfg)
-				if err != nil {
-					return sim.RunConfig{}, err
-				}
-				return sim.RunConfig{
-					Stack:        st,
-					Initial:      plant.State{Pos: geom.V(3, 3, 2), Battery: 1},
-					Duration:     time.Duration(cfg.SegmentMinutes) * time.Minute,
-					Seed:         seed,
-					JitterProb:   jitter,
-					JitterSCOnly: true,
-				}, nil
-			})
+		missions := fleet.ScenarioGrid(fleet.GridConfig{
+			Specs: []scenario.Spec{scenario.MustGet("random-endurance")},
+			Overrides: []scenario.Override{{Name: sched.name, Apply: func(sp *scenario.Spec) {
+				sp.JitterProb = jitter
+				sp.JitterSCOnly = true
+			}}},
+			Seeds:    fleet.Seeds(cfg.Seed, segments),
+			Duration: time.Duration(cfg.SegmentMinutes) * time.Minute,
+		})
 		rep := fleet.Run(missions, fleet.Options{Workers: cfg.Workers})
 		if err := rep.FirstErr(); err != nil {
 			return Sec5dResult{}, fmt.Errorf("sec5d: %w", err)

@@ -15,8 +15,9 @@ package fleet
 
 import (
 	"fmt"
+	"maps"
 	"runtime"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"time"
@@ -270,12 +271,7 @@ func (r *Report) SortedModuleNames() []string {
 			seen[name] = true
 		}
 	}
-	names := make([]string, 0, len(seen))
-	for n := range seen {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return slices.Sorted(maps.Keys(seen))
 }
 
 // ModuleStats sums a named module's switching statistics across the

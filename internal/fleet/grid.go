@@ -1,0 +1,57 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// GridConfig describes a cartesian scenario sweep: every Spec × every
+// Override × every seed becomes one independent mission.
+type GridConfig struct {
+	// Specs are the base scenarios of the sweep.
+	Specs []scenario.Spec
+	// Overrides are applied one at a time to every Spec; empty means the
+	// identity (each Spec runs as declared).
+	Overrides []scenario.Override
+	// Seeds drive the per-mission randomness; empty defaults to {1}.
+	Seeds []int64
+	// Duration, when positive, overrides every Spec's default mission
+	// length — how quick sweeps scale whole catalogs down.
+	Duration time.Duration
+}
+
+// ScenarioGrid expands the grid into missions, in deterministic order
+// (specs, then overrides, then seeds). Each mission's Build compiles its
+// Spec inside the worker, so grid runs inherit the fleet engine's isolation
+// and are deterministic at any worker count.
+func ScenarioGrid(cfg GridConfig) []Mission {
+	overrides := cfg.Overrides
+	if len(overrides) == 0 {
+		overrides = []scenario.Override{{}}
+	}
+	seeds := cfg.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{1}
+	}
+	missions := make([]Mission, 0, len(cfg.Specs)*len(overrides)*len(seeds))
+	for _, base := range cfg.Specs {
+		for _, ov := range overrides {
+			spec := base.With(ov)
+			if cfg.Duration > 0 {
+				spec.Duration = cfg.Duration
+			}
+			for _, seed := range seeds {
+				spec, seed := spec, seed
+				missions = append(missions, Mission{
+					Name:  fmt.Sprintf("%s/seed-%d", spec.Name, seed),
+					Seed:  seed,
+					Build: func() (sim.RunConfig, error) { return spec.Build(seed) },
+				})
+			}
+		}
+	}
+	return missions
+}

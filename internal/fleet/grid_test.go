@@ -1,0 +1,91 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// gridUnderTest is a small but genuinely cartesian sweep: 2 scenarios x 2
+// overrides x 2 seeds.
+func gridUnderTest() GridConfig {
+	return GridConfig{
+		Specs: []scenario.Spec{
+			scenario.MustGet("surveillance-city"),
+			scenario.MustGet("corner-hazard-tour"),
+		},
+		Overrides: []scenario.Override{
+			{Name: "tight", Apply: func(sp *scenario.Spec) { sp.Hysteresis = 1.0 }},
+			{Name: "loose", Apply: func(sp *scenario.Spec) { sp.Hysteresis = 4.0 }},
+		},
+		Seeds:    []int64{3, 104},
+		Duration: 3 * time.Second,
+	}
+}
+
+// TestScenarioGridShape pins the expansion order and naming the experiment
+// result tables rely on (specs, then overrides, then seeds).
+func TestScenarioGridShape(t *testing.T) {
+	missions := ScenarioGrid(gridUnderTest())
+	if len(missions) != 8 {
+		t.Fatalf("grid size = %d, want 2*2*2", len(missions))
+	}
+	wantNames := []string{
+		"surveillance-city+tight/seed-3", "surveillance-city+tight/seed-104",
+		"surveillance-city+loose/seed-3", "surveillance-city+loose/seed-104",
+		"corner-hazard-tour+tight/seed-3", "corner-hazard-tour+tight/seed-104",
+		"corner-hazard-tour+loose/seed-3", "corner-hazard-tour+loose/seed-104",
+	}
+	for i, m := range missions {
+		if m.Name != wantNames[i] {
+			t.Errorf("mission[%d] = %q, want %q", i, m.Name, wantNames[i])
+		}
+	}
+	if missions[1].Seed != 104 {
+		t.Errorf("mission[1].Seed = %d", missions[1].Seed)
+	}
+}
+
+// TestScenarioGridDefaults: empty overrides/seeds degenerate to the identity
+// sweep, and a zero Duration keeps each spec's own default.
+func TestScenarioGridDefaults(t *testing.T) {
+	missions := ScenarioGrid(GridConfig{Specs: []scenario.Spec{scenario.MustGet("surveillance-city")}})
+	if len(missions) != 1 || missions[0].Name != "surveillance-city/seed-1" {
+		t.Fatalf("degenerate grid = %+v", missions)
+	}
+	rcfg, err := missions[0].Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := scenario.MustGet("surveillance-city").Duration; rcfg.Duration != want {
+		t.Errorf("duration = %v, want the spec default %v", rcfg.Duration, want)
+	}
+}
+
+// TestScenarioGridDeterministicAcrossWorkers: a grid batch must produce
+// identical metrics at any worker count (run under -race, this also proves
+// scenario compilation inside workers shares no mutable state).
+func TestScenarioGridDeterministicAcrossWorkers(t *testing.T) {
+	cfg := gridUnderTest()
+	var baseline []sim.Metrics
+	for _, workers := range []int{1, 4, 16} {
+		rep := Run(ScenarioGrid(cfg), Options{Workers: workers})
+		if err := rep.FirstErr(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		metrics := make([]sim.Metrics, len(rep.Results))
+		for i, res := range rep.Results {
+			metrics[i] = res.Metrics
+		}
+		if baseline == nil {
+			baseline = metrics
+			continue
+		}
+		if !reflect.DeepEqual(baseline, metrics) {
+			t.Errorf("workers=%d: metrics differ from the 1-worker baseline", workers)
+		}
+	}
+}

@@ -205,6 +205,50 @@ func CityWorkspace() *Workspace {
 	return ws
 }
 
+// CanyonWorkspace builds a narrow-passage workspace: two long, full-height
+// walls squeeze the flyable volume into a 5 m wide corridor connecting an
+// open staging area on each side. Missions that shuttle between the two
+// areas force every layer — planner, motion primitives, decision modules —
+// through the passage, where the φsafer band is tight and AC overshoot
+// triggers disengagements far more often than in the open city blocks.
+// Dimensions are in metres; the flyable volume is 60m x 30m x 10m.
+func CanyonWorkspace() *Workspace {
+	bounds := Box(V(0, 0, 0), V(60, 30, 10))
+	obstacles := []AABB{
+		// Canyon walls: full height, leaving a corridor y ∈ (12.5, 17.5).
+		Box(V(14, 0, 0), V(46, 12.5, 10)),
+		Box(V(14, 17.5, 0), V(46, 30, 10)),
+		// Rock outcrops near the two canyon mouths, offset from the
+		// centre line so the direct route stays free but hugs them.
+		Box(V(10, 18, 0), V(13, 22, 6)),
+		Box(V(47, 8, 0), V(50, 12, 6)),
+	}
+	ws, err := NewWorkspace(bounds, obstacles)
+	if err != nil {
+		panic(err) // static geometry
+	}
+	return ws
+}
+
+// CornerHazardWorkspace builds the g1..g4 tour workspace of Figure 5
+// (right) and Figure 12a: an open square with hazard blocks ("red regions")
+// placed just beyond each corner in the overshoot direction — inside the
+// ~1 m overshoot of the aggressive controller at cruise speed.
+func CornerHazardWorkspace() *Workspace {
+	bounds := Box(V(0, 0, 0), V(30, 30, 8))
+	obstacles := []AABB{
+		Box(V(25.7, 2, 0), V(28.5, 8, 6)),   // past g2 (+x)
+		Box(V(22, 25.7, 0), V(28, 28.5, 6)), // past g3 (+y)
+		Box(V(1.5, 22, 0), V(4.3, 28, 6)),   // past g4 (-x)
+		Box(V(2, 1.5, 0), V(8, 4.3, 6)),     // past g1 (-y)
+	}
+	ws, err := NewWorkspace(bounds, obstacles)
+	if err != nil {
+		panic(err) // static geometry
+	}
+	return ws
+}
+
 // OpenWorkspace builds an obstacle-free box workspace, useful for unit tests
 // and for the Figure 5 (left) figure-eight experiment where danger is defined
 // by deviation from the reference loop rather than by obstacles.

@@ -7,7 +7,7 @@ package node
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/calendar"
@@ -184,7 +184,7 @@ func SameOutputs(a, b *Node) bool {
 func normalizeTopics(ts []pubsub.TopicName) ([]pubsub.TopicName, error) {
 	out := make([]pubsub.TopicName, len(ts))
 	copy(out, ts)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	for i := range out {
 		if out[i] == "" {
 			return nil, fmt.Errorf("empty topic name")
@@ -203,6 +203,6 @@ func copyTopics(ts []pubsub.TopicName) []pubsub.TopicName {
 }
 
 func containsTopic(sorted []pubsub.TopicName, t pubsub.TopicName) bool {
-	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= t })
-	return i < len(sorted) && sorted[i] == t
+	_, found := slices.BinarySearch(sorted, t)
+	return found
 }

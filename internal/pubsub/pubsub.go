@@ -16,7 +16,7 @@ package pubsub
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -63,7 +63,7 @@ func (v Valuation) Names() []TopicName {
 	for k := range v {
 		names = append(names, k)
 	}
-	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+	slices.Sort(names)
 	return names
 }
 
@@ -79,7 +79,7 @@ type Interner struct {
 func newInterner(names []TopicName) (*Interner, error) {
 	sorted := make([]TopicName, len(names))
 	copy(sorted, names)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	slices.Sort(sorted)
 	in := &Interner{
 		ids:   make(map[TopicName]TopicID, len(sorted)),
 		names: sorted,

@@ -17,6 +17,7 @@ package rta
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/node"
@@ -328,10 +329,6 @@ func unionTopics(sets ...[]pubsub.TopicName) []pubsub.TopicName {
 		}
 	}
 	// Deterministic order.
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	slices.Sort(out)
 	return out
 }
