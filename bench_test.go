@@ -7,6 +7,7 @@
 package soter_test
 
 import (
+	"context"
 	"fmt"
 	goruntime "runtime"
 	"sync"
@@ -42,7 +43,10 @@ func report(b *testing.B, key, text string) {
 // g1..g4 tour.
 func BenchmarkFig5ThirdPartyController(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Fig5Right(experiments.Fig5Config{Seed: 1, Laps: 10})
+		res, err := experiments.Fig5Right(experiments.Fig5Config{Seed: 1, Laps: 10})
+		if err != nil {
+			b.Fatal(err)
+		}
 		report(b, "fig5r", res.Format())
 		if res.CollidingLaps == 0 {
 			b.Fatal("expected the unprotected third-party controller to collide")
@@ -55,7 +59,10 @@ func BenchmarkFig5ThirdPartyController(b *testing.B) {
 // dangerously.
 func BenchmarkFig5LearnedController(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := experiments.Fig5Left(experiments.Fig5Config{Seed: 5, Laps: 12})
+		res, err := experiments.Fig5Left(experiments.Fig5Config{Seed: 5, Laps: 12})
+		if err != nil {
+			b.Fatal(err)
+		}
 		report(b, "fig5l", res.Format())
 		if res.UnsafeLoops == 0 || res.UnsafeLoops == res.Loops {
 			b.Fatalf("expected a mix of safe and unsafe loops, got %d/%d", res.UnsafeLoops, res.Loops)
@@ -219,7 +226,7 @@ func BenchmarkFleetScaling(b *testing.B) {
 			var completed int
 			start := time.Now()
 			for i := 0; i < b.N; i++ {
-				rep := fleet.Run(missions, fleet.Options{Workers: workers})
+				rep := fleet.Run(context.Background(), missions, fleet.Options{Workers: workers})
 				if err := rep.FirstErr(); err != nil {
 					b.Fatal(err)
 				}

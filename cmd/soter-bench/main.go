@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	soter-bench [-seed N] [-quick] [-workers N] [-json] [experiment ...]
+//	soter-bench [-seed N] [-quick] [-workers N] [-timeout D] [-json] [experiment ...]
 //
 // With no arguments every experiment runs. Experiments: fig5r fig5l fig6
 // fig10 fig12a fig12b fig12b-fleet fig12c sec5c sec5d abl-delta abl-return
@@ -19,15 +19,24 @@
 // the text tables: {"name", "wall_ms", "crashes", "ac_fraction"} — the
 // machine-readable feed for BENCH_*.json perf-trajectory tracking.
 // ac_fraction is -1 for experiments with no AC/SC switching layer.
+//
+// The whole harness is cancellation-aware: -timeout bounds the total wall
+// clock and SIGINT/SIGTERM interrupt it; either way the experiments finished
+// so far have already printed and the harness exits with a partial-summary
+// note instead of losing the session.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"slices"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -45,35 +54,41 @@ type outcome struct {
 
 type experiment struct {
 	name string
-	run  func(seed int64, quick bool, workers int) (outcome, error)
+	run  func(ctx context.Context, seed int64, quick bool, workers int) (outcome, error)
 }
 
 func catalogue() []experiment {
 	return []experiment{
-		{"fig5r", func(seed int64, quick bool, _ int) (outcome, error) {
+		{"fig5r", func(ctx context.Context, seed int64, quick bool, _ int) (outcome, error) {
 			laps := 10
 			if quick {
 				laps = 5
 			}
-			res := experiments.Fig5Right(experiments.Fig5Config{Seed: seed, Laps: laps})
+			res, err := experiments.Fig5Right(experiments.Fig5Config{Seed: seed, Laps: laps, Context: ctx})
+			if err != nil {
+				return outcome{}, err
+			}
 			return outcome{res.Format(), res.CollidingLaps, -1}, nil
 		}},
-		{"fig5l", func(seed int64, quick bool, workers int) (outcome, error) {
+		{"fig5l", func(ctx context.Context, seed int64, quick bool, workers int) (outcome, error) {
 			laps := 12
 			if quick {
 				laps = 6
 			}
-			res := experiments.Fig5Left(experiments.Fig5Config{Seed: seed + 4, Laps: laps, Workers: workers})
+			res, err := experiments.Fig5Left(experiments.Fig5Config{Seed: seed + 4, Laps: laps, Workers: workers, Context: ctx})
+			if err != nil {
+				return outcome{}, err
+			}
 			return outcome{res.Format(), res.UnsafeLoops, -1}, nil
 		}},
-		{"fig6", func(seed int64, _ bool, _ int) (outcome, error) {
-			res, err := experiments.Fig6(experiments.Fig6Config{Seed: seed + 1})
+		{"fig6", func(ctx context.Context, seed int64, _ bool, _ int) (outcome, error) {
+			res, err := experiments.Fig6(experiments.Fig6Config{Seed: seed + 1, Context: ctx})
 			if err != nil {
 				return outcome{}, err
 			}
 			return outcome{res.Format(), boolCount(res.Crashed), -1}, nil
 		}},
-		{"fig10", func(seed int64, quick bool, _ int) (outcome, error) {
+		{"fig10", func(_ context.Context, seed int64, quick bool, _ int) (outcome, error) {
 			samples := 4000
 			if quick {
 				samples = 1000
@@ -84,12 +99,12 @@ func catalogue() []experiment {
 			}
 			return outcome{res.Format(), 0, -1}, nil
 		}},
-		{"fig12a", func(seed int64, quick bool, _ int) (outcome, error) {
+		{"fig12a", func(ctx context.Context, seed int64, quick bool, _ int) (outcome, error) {
 			tours := 2
 			if quick {
 				tours = 1
 			}
-			res, err := experiments.Fig12a(experiments.Fig12aConfig{Seed: seed + 3, Tours: tours})
+			res, err := experiments.Fig12a(experiments.Fig12aConfig{Seed: seed + 3, Tours: tours, Context: ctx})
 			if err != nil {
 				return outcome{}, err
 			}
@@ -102,21 +117,21 @@ func catalogue() []experiment {
 			}
 			return out, nil
 		}},
-		{"fig12b", func(seed int64, quick bool, _ int) (outcome, error) {
+		{"fig12b", func(ctx context.Context, seed int64, quick bool, _ int) (outcome, error) {
 			d := 2 * time.Minute
 			if quick {
 				d = 45 * time.Second
 			}
-			res, err := experiments.Fig12b(experiments.Fig12bConfig{Seed: seed + 6, Duration: d, Faults: true})
+			res, err := experiments.Fig12b(experiments.Fig12bConfig{Seed: seed + 6, Duration: d, Faults: true, Context: ctx})
 			if err != nil {
 				return outcome{}, err
 			}
 			return outcome{res.Format(), boolCount(res.Crashed), res.ACFraction}, nil
 		}},
-		{"fig12b-fleet", func(seed int64, quick bool, workers int) (outcome, error) {
+		{"fig12b-fleet", func(ctx context.Context, seed int64, quick bool, workers int) (outcome, error) {
 			cfg := experiments.Fig12bFleetConfig{
 				BaseSeed: seed + 6, Missions: 8, Duration: time.Minute,
-				Faults: true, Workers: workers,
+				Faults: true, Workers: workers, Context: ctx,
 			}
 			if quick {
 				cfg.Missions = 4
@@ -128,15 +143,15 @@ func catalogue() []experiment {
 			}
 			return outcome{res.Format(), res.Crashes, res.MeanACFraction}, nil
 		}},
-		{"fig12c", func(seed int64, _ bool, _ int) (outcome, error) {
-			res, err := experiments.Fig12c(experiments.Fig12cConfig{Seed: seed + 10})
+		{"fig12c", func(ctx context.Context, seed int64, _ bool, _ int) (outcome, error) {
+			res, err := experiments.Fig12c(experiments.Fig12cConfig{Seed: seed + 10, Context: ctx})
 			if err != nil {
 				return outcome{}, err
 			}
 			return outcome{res.Format(), boolCount(res.Crashed), -1}, nil
 		}},
-		{"sec5c", func(seed int64, quick bool, _ int) (outcome, error) {
-			cfg := experiments.Sec5cConfig{Seed: seed + 2, Queries: 40, ClosedLoop: time.Minute}
+		{"sec5c", func(ctx context.Context, seed int64, quick bool, _ int) (outcome, error) {
+			cfg := experiments.Sec5cConfig{Seed: seed + 2, Queries: 40, ClosedLoop: time.Minute, Context: ctx}
 			if quick {
 				cfg.Queries = 15
 				cfg.ClosedLoop = 0
@@ -147,8 +162,8 @@ func catalogue() []experiment {
 			}
 			return outcome{res.Format(), boolCount(res.ClosedCrashed), res.PlannerACFrac}, nil
 		}},
-		{"sec5d", func(seed int64, quick bool, workers int) (outcome, error) {
-			cfg := experiments.Sec5dConfig{Seed: seed + 12, SimHours: 0.5, Workers: workers}
+		{"sec5d", func(ctx context.Context, seed int64, quick bool, workers int) (outcome, error) {
+			cfg := experiments.Sec5dConfig{Seed: seed + 12, SimHours: 0.5, Workers: workers, Context: ctx}
 			if quick {
 				cfg.SimHours = 0.1
 				cfg.SegmentMinutes = 3
@@ -166,8 +181,8 @@ func catalogue() []experiment {
 			}
 			return out, nil
 		}},
-		{"abl-delta", func(seed int64, quick bool, workers int) (outcome, error) {
-			cfg := experiments.AblationConfig{Seed: seed + 5, Workers: workers}
+		{"abl-delta", func(ctx context.Context, seed int64, quick bool, workers int) (outcome, error) {
+			cfg := experiments.AblationConfig{Seed: seed + 5, Workers: workers, Context: ctx}
 			if quick {
 				cfg.Duration = 40 * time.Second
 			}
@@ -185,8 +200,8 @@ func catalogue() []experiment {
 			}
 			return out, nil
 		}},
-		{"abl-return", func(seed int64, quick bool, workers int) (outcome, error) {
-			cfg := experiments.AblationConfig{Seed: seed + 5, Workers: workers}
+		{"abl-return", func(ctx context.Context, seed int64, quick bool, workers int) (outcome, error) {
+			cfg := experiments.AblationConfig{Seed: seed + 5, Workers: workers, Context: ctx}
 			if quick {
 				cfg.Duration = 40 * time.Second
 			}
@@ -203,7 +218,7 @@ func catalogue() []experiment {
 			}
 			return out, nil
 		}},
-		{"scenarios", func(seed int64, quick bool, workers int) (outcome, error) {
+		{"scenarios", func(ctx context.Context, seed int64, quick bool, workers int) (outcome, error) {
 			cfg := fleet.GridConfig{
 				Specs:    scenario.All(),
 				Seeds:    fleet.Seeds(seed, 3),
@@ -213,7 +228,7 @@ func catalogue() []experiment {
 				cfg.Seeds = fleet.Seeds(seed, 2)
 				cfg.Duration = 10 * time.Second
 			}
-			rep := fleet.Run(fleet.ScenarioGrid(cfg), fleet.Options{Workers: workers})
+			rep := fleet.Run(ctx, fleet.ScenarioGrid(cfg), fleet.Options{Workers: workers})
 			if err := rep.FirstErr(); err != nil {
 				return outcome{}, err
 			}
@@ -260,8 +275,20 @@ func run() error {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	quick := flag.Bool("quick", false, "run scaled-down configurations")
 	workers := flag.Int("workers", 0, "fleet worker-pool bound (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "cancel the whole harness after this wall-clock budget (0 = none)")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment instead of text tables")
 	flag.Parse()
+
+	// The run context is cancelled by SIGINT/SIGTERM and, when -timeout is
+	// set, by the wall-clock budget; every experiment threads it into its
+	// simulation runs and fleet sweeps.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	cat := catalogue()
 	byName := make(map[string]experiment, len(cat))
@@ -290,12 +317,21 @@ func run() error {
 	// never exceeds the flag.
 	enc := json.NewEncoder(os.Stdout)
 	start := time.Now()
+	completed := 0
 	for _, name := range selected {
 		expStart := time.Now()
-		out, err := byName[name].run(*seed, *quick, *workers)
+		out, err := byName[name].run(ctx, *seed, *quick, *workers)
 		if err != nil {
+			// Interruption is graceful: everything completed so far has
+			// already printed — report the partial coverage and stop.
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Printf("[interrupted during %s: %d/%d experiments completed in %v]\n",
+					name, completed, len(selected), time.Since(start).Round(time.Millisecond))
+				return nil
+			}
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		completed++
 		wall := time.Since(expStart)
 		if *jsonOut {
 			if err := enc.Encode(struct {

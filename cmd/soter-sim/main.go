@@ -7,6 +7,13 @@
 // Flags other than -scenario act as overrides: only the flags explicitly set
 // on the command line are applied on top of the selected scenario's Spec.
 //
+// With -trace the full typed event stream of the run — node firings, mode
+// switches, time progress, trajectory and battery samples, crashes,
+// touchdowns — is written as JSON Lines (one object per line, "kind"
+// discriminator) for offline analysis and replay. SIGINT/SIGTERM cancel the
+// run gracefully: the metrics accumulated so far still print and the trace
+// file is flushed, instead of losing everything.
+//
 // Usage:
 //
 //	soter-sim [flags]
@@ -18,20 +25,26 @@
 //	soter-sim -scenario surveillance-city -protection ac-only
 //	soter-sim -planner-bug skip-edge-check -random-targets
 //	soter-sim -csv trajectory.csv
+//	soter-sim -trace run.jsonl
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"slices"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/geom"
 	"repro/internal/mission"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -62,6 +75,7 @@ func run() error {
 		delta        = flag.Duration("delta", 100*time.Millisecond, "motion-primitive DM period Δ")
 		hysteresis   = flag.Float64("hysteresis", 2.0, "φsafer horizon multiplier")
 		csvPath      = flag.String("csv", "", "write the flown trajectory to this CSV file")
+		tracePath    = flag.String("trace", "", "write the run's event stream to this JSONL file")
 	)
 	flag.Parse()
 
@@ -177,17 +191,45 @@ func run() error {
 		return err
 	}
 	rcfg.RecordTrajectory = *csvPath != ""
+	rcfg.Label = spec.Name
+
+	// SIGINT/SIGTERM cancel the run between executor slices; the partial
+	// metrics still print and the trace is flushed below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rcfg.Context = ctx
+
+	var trace *obs.JSONLWriter
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		trace = obs.NewJSONLWriter(f)
+		rcfg.Observers = append(rcfg.Observers, trace)
+	}
 
 	fmt.Printf("SOTER simulator — scenario=%s protection=%s ac=%s Δ=%v planner-bug=%v jitter=%.4f\n",
 		spec.Name, rcfg.Stack.Config.Protection, acName(rcfg.Stack.Config.AC),
 		rcfg.Stack.Config.MotionDelta, spec.PlannerBug, spec.JitterProb)
 
 	res, err := sim.Run(rcfg)
-	if err != nil {
+	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+	if err != nil && !interrupted {
 		return fmt.Errorf("simulate: %w", err)
+	}
+	if interrupted {
+		fmt.Printf("\ninterrupted at t=%v — partial report:\n", res.Metrics.Duration)
 	}
 
 	printMetrics(res)
+	if trace != nil {
+		if err := trace.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("trace: event stream written to %s\n", *tracePath)
+	}
 	if *csvPath != "" {
 		if err := writeCSV(*csvPath, res); err != nil {
 			return fmt.Errorf("write csv: %w", err)

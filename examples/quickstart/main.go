@@ -5,11 +5,18 @@
 // rover provably inside the safe region while letting the fast controller
 // run whenever it is safe — the Simplex pattern of Figure 1, programmed with
 // the declarative API of Figures 4 and 7.
+//
+// It also shows the context-aware execution surface: the run is driven by
+// Run(ctx, ...) under a deadline, and the mode switches are consumed from
+// the typed event stream through an Observer instead of a bespoke hook.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	soter "repro"
@@ -180,21 +187,35 @@ func run() error {
 		return topics.Set("rover/state", rover)
 	})
 
-	var switches []soter.Switch
+	// Consume the typed event stream: collect the mode switches through an
+	// Observer (the old WithSwitchHook is a shim over exactly this).
+	var switches []soter.ModeSwitchEvent
+	onEvent := soter.ObserverFunc(func(e soter.Event) {
+		if sw, ok := e.(soter.ModeSwitchEvent); ok {
+			switches = append(switches, sw)
+		}
+	})
 	exec, err := soter.NewExecutor(sys,
 		[]soter.Topic{{Name: "rover/state", Default: rover}},
 		soter.WithInvariantChecking(),
 		soter.WithEnvironment(env),
-		soter.WithSwitchHook(func(sw soter.Switch) { switches = append(switches, sw) }),
+		soter.WithObservers(onEvent),
 	)
 	if err != nil {
 		return err
 	}
 
-	// Run for 60 simulated seconds, reporting once per second.
+	// Run for 60 simulated seconds, reporting once per second. Ctrl-C
+	// cancels the run between instants.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	fmt.Println("t(s)   x(m)    v(m/s)  mode")
 	for s := 1; s <= 60; s++ {
-		if err := exec.RunUntil(time.Duration(s) * time.Second); err != nil {
+		if err := exec.Run(ctx, time.Duration(s)*time.Second); err != nil {
+			if ctx.Err() != nil {
+				fmt.Printf("\ninterrupted at t=%v with %d mode switches so far\n", exec.Now(), len(switches))
+				return nil
+			}
 			return fmt.Errorf("safety violated: %w", err)
 		}
 		mode, err := exec.Mode("SafeRover")

@@ -9,15 +9,22 @@
 //
 // The workload itself is the registered surveillance-city scenario
 // (internal/scenario); this example shows the intended application shape:
-// fetch a Spec by name, override what you need, Build, simulate.
+// fetch a Spec by name, override what you need, Build, attach observers to
+// the event stream, simulate under a cancellable context.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/rta"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -46,13 +53,25 @@ func run(seed int64, duration time.Duration, withFaults bool) error {
 	}
 	rcfg.RecordTrajectory = true
 
+	// Ctrl-C cancels the mission cleanly; the metrics accumulated so far
+	// still print below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rcfg.Context = ctx
+	// A bounded flight recorder rides along on the event stream.
+	rec := obs.NewRecorder(0)
+	rcfg.Observers = append(rcfg.Observers, rec)
+
 	st := rcfg.Stack
 	fmt.Printf("SOTER drone surveillance — %d obstacles, Δ=%v, faults=%v\n",
 		st.Config.Workspace.NumObstacles(), st.Config.MotionDelta, withFaults)
 
 	res, err := sim.Run(rcfg)
 	if err != nil {
-		return fmt.Errorf("simulate: %w", err)
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("simulate: %w", err)
+		}
+		fmt.Printf("\ninterrupted — partial mission report:\n")
 	}
 
 	m := res.Metrics
@@ -83,6 +102,8 @@ func run(seed int64, duration time.Duration, withFaults bool) error {
 	} else {
 		fmt.Println()
 	}
+	fmt.Printf("\nflight recorder: %d events retained (%d evicted by the bound)\n",
+		rec.Len(), rec.Dropped())
 	if m.Crashed {
 		return fmt.Errorf("drone crashed at t=%v pos=%v", m.CrashTime, m.CrashPos)
 	}

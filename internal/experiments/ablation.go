@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +17,8 @@ type AblationConfig struct {
 	// Workers bounds the fleet worker pool the configuration grid is
 	// dispatched across (0 = GOMAXPROCS).
 	Workers int
+	// Context, when non-nil, cancels the sweep.
+	Context context.Context
 }
 
 // DeltaRow is one (Δ, hysteresis) configuration.
@@ -103,7 +106,7 @@ func AblationDelta(cfg AblationConfig) (AblationDeltaResult, error) {
 		Overrides: overrides,
 		Seeds:     []int64{cfg.Seed},
 	})
-	rep := fleet.Run(missions, fleet.Options{Workers: cfg.Workers})
+	rep := fleet.Run(runCtx(cfg.Context), missions, fleet.Options{Workers: cfg.Workers})
 	if err := rep.FirstErr(); err != nil {
 		return AblationDeltaResult{}, fmt.Errorf("ablation: %w", err)
 	}
@@ -179,7 +182,7 @@ func AblationReturn(cfg AblationConfig) (AblationReturnResult, error) {
 		Overrides: overrides,
 		Seeds:     []int64{cfg.Seed},
 	})
-	rep := fleet.Run(missions, fleet.Options{Workers: cfg.Workers})
+	rep := fleet.Run(runCtx(cfg.Context), missions, fleet.Options{Workers: cfg.Workers})
 	if err := rep.FirstErr(); err != nil {
 		return AblationReturnResult{}, fmt.Errorf("ablation return: %w", err)
 	}

@@ -7,10 +7,22 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 )
+
+// runCtx resolves an experiment config's optional cancellation context (nil
+// means run to completion). Every experiment threads it into its simulation
+// runs and fleet sweeps, so cmd/soter-bench's -timeout and SIGINT handling
+// cancel whole experiments cleanly.
+func runCtx(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
 
 // table is a tiny fixed-width text-table builder used by all Format methods.
 type table struct {

@@ -14,7 +14,10 @@ import (
 // absolute numbers. The full-size runs live in bench_test.go.
 
 func TestFig5RightShape(t *testing.T) {
-	res := Fig5Right(Fig5Config{Seed: 1, Laps: 6})
+	res, err := Fig5Right(Fig5Config{Seed: 1, Laps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.CollidingLaps == 0 {
 		t.Error("unprotected third-party controller never collided")
 	}
@@ -27,7 +30,10 @@ func TestFig5RightShape(t *testing.T) {
 }
 
 func TestFig5LeftShape(t *testing.T) {
-	res := Fig5Left(Fig5Config{Seed: 5, Laps: 8})
+	res, err := Fig5Left(Fig5Config{Seed: 5, Laps: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.UnsafeLoops == 0 {
 		t.Error("no red loops")
 	}

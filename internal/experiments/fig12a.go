@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -14,6 +15,8 @@ type Fig12aConfig struct {
 	Seed int64
 	// Tours is the number of g1..g4 tours to average over.
 	Tours int
+	// Context, when non-nil, cancels the experiment's runs.
+	Context context.Context
 }
 
 // Fig12aRow is one configuration of the comparison.
@@ -68,6 +71,7 @@ func Fig12a(cfg Fig12aConfig) (Fig12aResult, error) {
 		}
 		rcfg.KeepFlyingAfterCrash = true // score collisions, finish the tour
 		rcfg.StopAfterVisits = cfg.Tours * len(base.Targets)
+		rcfg.Context = runCtx(cfg.Context)
 		out, err := sim.Run(rcfg)
 		if err != nil {
 			return Fig12aResult{}, fmt.Errorf("fig12a %v: %w", mode, err)

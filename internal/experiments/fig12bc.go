@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,6 +18,8 @@ type Fig12bConfig struct {
 	// Faults injects the AC misbehaviour that produces the N1/N2 recovery
 	// events of the figure.
 	Faults bool
+	// Context, when non-nil, cancels the run.
+	Context context.Context
 }
 
 // Fig12bResult reproduces Figure 12b: during the surveillance mission the SC
@@ -76,6 +79,7 @@ func Fig12b(cfg Fig12bConfig) (Fig12bResult, error) {
 	if err != nil {
 		return Fig12bResult{}, fmt.Errorf("fig12b: %w", err)
 	}
+	rcfg.Context = runCtx(cfg.Context)
 	out, err := sim.Run(rcfg)
 	if err != nil {
 		return Fig12bResult{}, fmt.Errorf("fig12b: %w", err)
@@ -106,6 +110,8 @@ type Fig12cConfig struct {
 	Seed          int64
 	InitialCharge float64
 	DrainMultiple float64
+	// Context, when non-nil, cancels the run.
+	Context context.Context
 }
 
 // Fig12cResult reproduces Figure 12c: the battery falls below the safety
@@ -148,6 +154,7 @@ func Fig12c(cfg Fig12cConfig) (Fig12cResult, error) {
 	if err != nil {
 		return Fig12cResult{}, fmt.Errorf("fig12c: %w", err)
 	}
+	rcfg.Context = runCtx(cfg.Context)
 	out, err := sim.Run(rcfg)
 	if err != nil {
 		return Fig12cResult{}, fmt.Errorf("fig12c: %w", err)
@@ -184,6 +191,8 @@ type Fig12bFleetConfig struct {
 	Faults   bool
 	// Workers bounds the fleet worker pool (0 = GOMAXPROCS).
 	Workers int
+	// Context, when non-nil, cancels the sweep.
+	Context context.Context
 }
 
 // Fig12bFleetResult aggregates the sweep.
@@ -226,7 +235,7 @@ func Fig12bFleet(cfg Fig12bFleetConfig) (Fig12bFleetResult, error) {
 		Specs: []scenario.Spec{fig12bSpec(cfg.Duration, cfg.Faults)},
 		Seeds: fleet.Seeds(cfg.BaseSeed, cfg.Missions),
 	})
-	rep := fleet.Run(missions, fleet.Options{Workers: cfg.Workers})
+	rep := fleet.Run(runCtx(cfg.Context), missions, fleet.Options{Workers: cfg.Workers})
 	if err := rep.FirstErr(); err != nil {
 		return Fig12bFleetResult{}, fmt.Errorf("fig12b fleet: %w", err)
 	}

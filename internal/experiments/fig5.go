@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -22,6 +24,8 @@ type Fig5Config struct {
 	// Workers bounds the fleet worker pool the independent loops of the
 	// figure-eight sweep are dispatched across (0 = GOMAXPROCS).
 	Workers int
+	// Context, when non-nil, cancels the sweep.
+	Context context.Context
 }
 
 // Fig5RightResult reports the PX4-style third-party controller experiment:
@@ -56,8 +60,9 @@ func fig5Workspace() (*geom.Workspace, []geom.Vec3) {
 
 // trackTour runs a bare controller (no RTA) around the waypoint tour,
 // returning per-lap collision flags, the max overshoot beyond the square
-// and the average lap time.
-func trackTour(ctrl controller.Controller, ws *geom.Workspace, tour []geom.Vec3, laps int, seed int64) (collided []bool, maxOvershoot float64, avgLap time.Duration) {
+// and the average lap time. Cancelling the context stops between laps;
+// collided is truncated to the laps that actually ran.
+func trackTour(ctx context.Context, ctrl controller.Controller, ws *geom.Workspace, tour []geom.Vec3, laps int, seed int64) (collided []bool, maxOvershoot float64, avgLap time.Duration) {
 	params := plant.DefaultParams()
 	drone, err := plant.NewDrone(params, seed)
 	if err != nil {
@@ -71,6 +76,11 @@ func trackTour(ctrl controller.Controller, ws *geom.Workspace, tour []geom.Vec3,
 
 	now := time.Duration(0)
 	for lap := 0; lap < laps; lap++ {
+		if ctx.Err() != nil {
+			collided = collided[:lap]
+			laps = lap
+			break
+		}
 		lapStart := now
 		for _, wp := range tour {
 			deadline := now + 60*time.Second
@@ -104,22 +114,24 @@ func overshootBeyond(p geom.Vec3, tour []geom.Vec3) float64 {
 	return box.Distance(geom.V(p.X, p.Y, box.Center().Z))
 }
 
-// Fig5Right runs the third-party-controller experiment.
-func Fig5Right(cfg Fig5Config) Fig5RightResult {
+// Fig5Right runs the third-party-controller experiment. A cancelled context
+// returns the laps completed so far together with the context's error.
+func Fig5Right(cfg Fig5Config) (Fig5RightResult, error) {
 	if cfg.Laps <= 0 {
 		cfg.Laps = 10
 	}
+	ctx := runCtx(cfg.Context)
 	ws, tour := fig5Workspace()
 	params := plant.DefaultParams()
 	ac := controller.NewAggressive(controller.Limits{MaxAccel: params.MaxAccel, MaxVel: params.MaxVel})
-	collided, overshoot, avgLap := trackTour(ac, ws, tour, cfg.Laps, cfg.Seed)
-	res := Fig5RightResult{Laps: cfg.Laps, MaxOvershoot: overshoot, AvgLapTime: avgLap}
+	collided, overshoot, avgLap := trackTour(ctx, ac, ws, tour, cfg.Laps, cfg.Seed)
+	res := Fig5RightResult{Laps: len(collided), MaxOvershoot: overshoot, AvgLapTime: avgLap}
 	for _, c := range collided {
 		if c {
 			res.CollidingLaps++
 		}
 	}
-	return res
+	return res, ctx.Err()
 }
 
 // Fig5LeftResult reports the data-driven controller experiment: tracking a
@@ -155,8 +167,9 @@ type fig5Loop struct {
 // Fig5Left runs the learned-controller figure-eight experiment. Every loop
 // flies the eight at a different location with its own drone and noise
 // stream, so the loop sweep is an independent scenario set and is dispatched
-// through the fleet engine's worker pool.
-func Fig5Left(cfg Fig5Config) Fig5LeftResult {
+// through the fleet engine's worker pool. A cancelled context returns the
+// loops completed so far together with the context's error.
+func Fig5Left(cfg Fig5Config) (Fig5LeftResult, error) {
 	if cfg.Laps <= 0 {
 		cfg.Laps = 12
 	}
@@ -192,7 +205,10 @@ func Fig5Left(cfg Fig5Config) Fig5LeftResult {
 		centers[i] = center.Add(geom.V((rng.Float64()*2-1)*4, (rng.Float64()*2-1)*4, 0))
 	}
 
-	loops, err := fleet.Map(cfg.Workers, cfg.Laps, func(loop int) (fig5Loop, error) {
+	loops, err := fleet.Map(runCtx(cfg.Context), cfg.Workers, cfg.Laps, func(ctx context.Context, loop int) (fig5Loop, error) {
+		if err := ctx.Err(); err != nil {
+			return fig5Loop{}, err
+		}
 		loopCenter := centers[loop]
 		ref := func(t time.Duration) geom.Vec3 {
 			phase := 2 * math.Pi * float64(t) / float64(period)
@@ -238,14 +254,18 @@ func Fig5Left(cfg Fig5Config) Fig5LeftResult {
 		}
 		return out, nil
 	})
-	if err != nil {
-		panic(err) // only NewDrone can fail, and only on invalid static params
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		panic(err) // beyond cancellation, only NewDrone can fail, and only on invalid static params
 	}
 
-	res := Fig5LeftResult{Loops: cfg.Laps, Threshold: 0.9}
+	res := Fig5LeftResult{Threshold: 0.9}
 	var devSum float64
 	var devCount int
 	for _, l := range loops {
+		if l.devCount == 0 {
+			continue // loop never ran (cancelled sweep): don't score it as safe
+		}
+		res.Loops++
 		devSum += l.devSum
 		devCount += l.devCount
 		if l.max > res.Threshold {
@@ -258,5 +278,5 @@ func Fig5Left(cfg Fig5Config) Fig5LeftResult {
 	if devCount > 0 {
 		res.AvgDeviation = devSum / float64(devCount)
 	}
-	return res
+	return res, err
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +17,8 @@ import (
 // transfer.
 type Fig6Config struct {
 	Seed int64
+	// Context, when non-nil, cancels the run.
+	Context context.Context
 }
 
 // Fig6Result reproduces the behaviour of Figures 6 and 12a's inset: during a
@@ -79,6 +82,7 @@ func Fig6(cfg Fig6Config) (Fig6Result, error) {
 		Initial:         plant.State{Pos: start, Battery: 1},
 		Duration:        60 * time.Second,
 		Seed:            cfg.Seed,
+		Context:         runCtx(cfg.Context),
 		CheckInvariants: true,
 		StopAfterVisits: 1,
 	})

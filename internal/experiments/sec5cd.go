@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -21,6 +22,8 @@ type Sec5cConfig struct {
 	// ClosedLoop additionally runs the full stack with the buggy planner
 	// under RTA protection.
 	ClosedLoop time.Duration
+	// Context, when non-nil, cancels the closed-loop run.
+	Context context.Context
 }
 
 // Sec5cResult reproduces Section V-C: the buggy third-party RRT* emits
@@ -114,6 +117,7 @@ func Sec5c(cfg Sec5cConfig) (Sec5cResult, error) {
 		if err != nil {
 			return Sec5cResult{}, fmt.Errorf("sec5c closed loop: %w", err)
 		}
+		rcfg.Context = runCtx(cfg.Context)
 		out, err := sim.Run(rcfg)
 		if err != nil {
 			return Sec5cResult{}, fmt.Errorf("sec5c closed loop: %w", err)
@@ -142,6 +146,8 @@ type Sec5dConfig struct {
 	// Workers bounds the fleet worker pool the segments are dispatched
 	// across (0 = GOMAXPROCS).
 	Workers int
+	// Context, when non-nil, cancels the endurance sweep.
+	Context context.Context
 }
 
 // Sec5dRow is one scheduling configuration of the endurance study.
@@ -217,7 +223,7 @@ func Sec5d(cfg Sec5dConfig) (Sec5dResult, error) {
 			Seeds:    fleet.Seeds(cfg.Seed, segments),
 			Duration: time.Duration(cfg.SegmentMinutes) * time.Minute,
 		})
-		rep := fleet.Run(missions, fleet.Options{Workers: cfg.Workers})
+		rep := fleet.Run(runCtx(cfg.Context), missions, fleet.Options{Workers: cfg.Workers})
 		if err := rep.FirstErr(); err != nil {
 			return Sec5dResult{}, fmt.Errorf("sec5d: %w", err)
 		}

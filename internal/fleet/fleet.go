@@ -7,13 +7,18 @@
 //
 // Isolation is by construction: a Mission carries a Build function that is
 // invoked inside the worker, so every run assembles its own mission stack,
-// topic store, executor and seeded RNG. No mutable state is shared between
-// workers (the -race fleet tests prove it), and results are collected in
-// mission order, so a fleet run is deterministic regardless of worker count
-// or completion order.
+// topic store, executor, observers and seeded RNG. No mutable state is
+// shared between workers (the -race fleet tests prove it), and results are
+// collected in mission order, so a fleet run is deterministic regardless of
+// worker count or completion order — including each mission's event stream,
+// which its per-run obs.MetricsSink aggregates into the MissionResult
+// metrics the Report is assembled from. Run threads a context through the
+// pool and into every mission, so whole batches cancel cleanly.
 package fleet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"maps"
 	"runtime"
@@ -138,12 +143,29 @@ func (r *Report) Format() string {
 
 // Run simulates the missions across the worker pool and aggregates the
 // verdicts. Individual mission failures do not abort the batch; they are
-// recorded in the results and surfaced through FirstErr.
-func Run(missions []Mission, opts Options) *Report {
+// recorded in the results and surfaced through FirstErr. Cancelling the
+// context stops the batch cleanly: in-flight missions are cancelled (their
+// partial metrics are kept), missions never started are marked with the
+// context's error, and the Report stays internally consistent — a cancelled
+// batch can never masquerade as a clean one.
+func Run(ctx context.Context, missions []Mission, opts Options) *Report {
 	start := time.Now()
-	results, _ := Map(opts.Workers, len(missions), func(i int) (MissionResult, error) {
-		return runOne(missions[i]), nil
+	ran := make([]bool, len(missions))
+	// Every worker-level error is carried inside its MissionResult, so the
+	// closure returns res.Err into Map's error slot too: the two channels
+	// must agree, and TestRunCancelledBatchContract holds them to it.
+	results, _ := Map(ctx, opts.Workers, len(missions), func(ctx context.Context, i int) (MissionResult, error) {
+		ran[i] = true
+		res := runOne(ctx, missions[i])
+		return res, res.Err
 	})
+	// Missions the cancelled batch never started have no result; mark them
+	// explicitly rather than leaving zero-value "successes".
+	for i := range results {
+		if !ran[i] {
+			results[i] = MissionResult{Name: missions[i].Name, Seed: missions[i].Seed, Err: ctx.Err()}
+		}
+	}
 	rep := &Report{
 		Results:  results,
 		Workers:  opts.workers(),
@@ -174,7 +196,7 @@ func Run(missions []Mission, opts Options) *Report {
 	return rep
 }
 
-func runOne(m Mission) MissionResult {
+func runOne(ctx context.Context, m Mission) MissionResult {
 	res := MissionResult{Name: m.Name, Seed: m.Seed}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
@@ -187,20 +209,32 @@ func runOne(m Mission) MissionResult {
 		res.Err = err
 		return res
 	}
-	out, err := sim.Run(cfg)
-	if err != nil {
-		res.Err = err
-		return res
+	// The batch context threads into the run so a cancelled batch stops
+	// mid-mission; a Build that pinned its own context keeps it.
+	if cfg.Context == nil {
+		cfg.Context = ctx
 	}
-	res.Metrics = out.Metrics
-	res.Switches = out.Switches
+	if cfg.Label == "" {
+		cfg.Label = m.Name
+	}
+	out, err := sim.Run(cfg)
+	if out != nil {
+		// A cancelled run still reports its consistent partial metrics.
+		res.Metrics = out.Metrics
+		res.Switches = out.Switches
+	}
+	res.Err = err
 	return res
 }
 
 // Map runs fn(0..n-1) across a worker pool bounded at workers (≤0 defaults
-// to GOMAXPROCS) and collects the results in index order. The first error
-// (by index) is returned; later indices still run to completion.
-func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+// to GOMAXPROCS) and collects the results in index order. The returned error
+// is the join (errors.Join, in index order) of every per-index error — no
+// worker-level error can be silently dropped. Cancelling the context stops
+// the feed: indices not yet handed to a worker fail with the context's
+// error; indices already in flight run fn to completion (fn receives the
+// context and is expected to honour it).
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -217,21 +251,25 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for idx := range next {
-				results[idx], errs[idx] = fn(idx)
+				results[idx], errs[idx] = fn(ctx, idx)
 			}
 		}()
 	}
+	done := ctx.Done()
+feed:
 	for idx := 0; idx < n; idx++ {
-		next <- idx
+		select {
+		case next <- idx:
+		case <-done:
+			for j := idx; j < n; j++ {
+				errs[j] = ctx.Err()
+			}
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
+	return results, errors.Join(errs...)
 }
 
 // SeedSweep builds a mission per seed from a shared builder — the common

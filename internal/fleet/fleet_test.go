@@ -1,12 +1,17 @@
 package fleet
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	soterobs "repro/internal/obs"
 
 	"repro/internal/geom"
 	"repro/internal/mission"
@@ -38,7 +43,7 @@ func surveillanceMission(seed int64) (sim.RunConfig, error) {
 // executor and RNG).
 func TestFleetSmoke(t *testing.T) {
 	missions := SeedSweep("smoke", Seeds(1, 6), surveillanceMission)
-	rep := Run(missions, Options{Workers: 4})
+	rep := Run(context.Background(), missions, Options{Workers: 4})
 	if err := rep.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +73,7 @@ func TestFleetSmoke(t *testing.T) {
 // worker count: per-run isolation means parallelism cannot change results.
 func TestFleetDeterministic(t *testing.T) {
 	run := func(workers int) []MissionResult {
-		rep := Run(SeedSweep("det", Seeds(42, 4), surveillanceMission), Options{Workers: workers})
+		rep := Run(context.Background(), SeedSweep("det", Seeds(42, 4), surveillanceMission), Options{Workers: workers})
 		if err := rep.FirstErr(); err != nil {
 			t.Fatal(err)
 		}
@@ -94,7 +99,7 @@ func TestFleetAggregates(t *testing.T) {
 		cfg.Duration = 8 * time.Second
 		return cfg, err
 	})
-	rep := Run(missions, Options{Workers: 2})
+	rep := Run(context.Background(), missions, Options{Workers: 2})
 	if err := rep.FirstErr(); err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +127,7 @@ func TestFleetFailuresIsolated(t *testing.T) {
 		{Name: "bad", Seed: 2, Build: func() (sim.RunConfig, error) { return sim.RunConfig{}, boom }},
 		{Name: "ok-2", Seed: 3, Build: func() (sim.RunConfig, error) { return surveillanceMission(3) }},
 	}
-	rep := Run(missions, Options{Workers: 3})
+	rep := Run(context.Background(), missions, Options{Workers: 3})
 	if rep.Failed != 1 {
 		t.Fatalf("failed = %d, want 1", rep.Failed)
 	}
@@ -140,7 +145,7 @@ func TestFleetFailuresIsolated(t *testing.T) {
 func TestMapOrderAndBound(t *testing.T) {
 	var inFlight, peak atomic.Int32
 	const workers, n = 3, 20
-	out, err := Map(workers, n, func(i int) (int, error) {
+	out, err := Map(context.Background(), workers, n, func(_ context.Context, i int) (int, error) {
 		cur := inFlight.Add(1)
 		for {
 			p := peak.Load()
@@ -165,21 +170,135 @@ func TestMapOrderAndBound(t *testing.T) {
 	}
 }
 
-func TestMapFirstErrorByIndex(t *testing.T) {
-	_, err := Map(4, 10, func(i int) (int, error) {
+func TestMapJoinsEveryError(t *testing.T) {
+	_, err := Map(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
 		if i == 3 || i == 7 {
 			return 0, fmt.Errorf("fail-%d", i)
 		}
 		return i, nil
 	})
-	if err == nil || err.Error() != "fail-3" {
-		t.Fatalf("err = %v, want fail-3 (first by index)", err)
+	if err == nil {
+		t.Fatal("nil error from a failing Map")
+	}
+	// The contract is errors.Join of every per-index error, in index order:
+	// no worker-level error can be silently dropped.
+	msg := err.Error()
+	if !strings.Contains(msg, "fail-3") || !strings.Contains(msg, "fail-7") {
+		t.Fatalf("err = %v, want both fail-3 and fail-7", err)
+	}
+	if strings.Index(msg, "fail-3") > strings.Index(msg, "fail-7") {
+		t.Errorf("errors out of index order: %v", err)
 	}
 }
 
 func TestMapEmpty(t *testing.T) {
-	out, err := Map[int](4, 0, func(i int) (int, error) { return 0, nil })
+	out, err := Map[int](context.Background(), 4, 0, func(_ context.Context, i int) (int, error) { return 0, nil })
 	if err != nil || out != nil {
 		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+// TestRunCancelledBatchContract: cancelling a batch leaves no silent
+// zero-value "successes" — every mission either ran (and carries its own
+// verdict or cancellation error) or is explicitly marked with the context's
+// error — and FirstErr surfaces the cancellation.
+func TestRunCancelledBatchContract(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	missions := SeedSweep("cancel", Seeds(1, 12), func(seed int64) (sim.RunConfig, error) {
+		started <- struct{}{}
+		cfg, err := surveillanceMission(seed)
+		cfg.Duration = time.Hour // far longer than the test; only cancellation ends it
+		return cfg, err
+	})
+	go func() {
+		<-started // at least one mission is in flight
+		cancel()
+	}()
+	rep := Run(ctx, missions, Options{Workers: 2})
+	if rep.Missions != len(missions) || len(rep.Results) != len(missions) {
+		t.Fatalf("missions=%d results=%d, want %d", rep.Missions, len(rep.Results), len(missions))
+	}
+	if rep.Failed == 0 {
+		t.Fatal("cancelled batch reported zero failures")
+	}
+	if err := rep.FirstErr(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FirstErr = %v, want context.Canceled", err)
+	}
+	for i, res := range rep.Results {
+		if res.Name != missions[i].Name || res.Seed != missions[i].Seed {
+			t.Errorf("result %d lost its identity: %q seed %d", i, res.Name, res.Seed)
+		}
+		// A mission that reports success must have actually simulated.
+		if res.Err == nil && res.Metrics.Duration == 0 {
+			t.Errorf("result %d is a silent zero-value success", i)
+		}
+	}
+}
+
+// TestMapCancelledFeed: indices never handed to a worker fail with the
+// context's error instead of silently returning zero values.
+func TestMapCancelledFeed(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the feed starts
+	out, err := Map(ctx, 2, 8, func(ctx context.Context, i int) (int, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return i + 1, nil
+	})
+	if len(out) != 8 {
+		t.Fatalf("len(out) = %d", len(out))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFleetEventStreamsDeterministicAcrossWorkers: with a recorder attached
+// to every mission, the per-mission event sequences are identical at any
+// worker count — the event stream inherits the fleet engine's isolation.
+// Run under -race this also proves observer plumbing shares no state.
+func TestFleetEventStreamsDeterministicAcrossWorkers(t *testing.T) {
+	streams := func(workers int) [][]byte {
+		recs := make([]*soterobs.Recorder, 4)
+		missions := SeedSweep("stream", Seeds(9, 4), surveillanceMission)
+		for i := range missions {
+			i := i
+			build := missions[i].Build
+			recs[i] = soterobs.NewRecorder(1 << 16)
+			missions[i].Build = func() (sim.RunConfig, error) {
+				cfg, err := build()
+				cfg.Observers = append(cfg.Observers, recs[i])
+				return cfg, err
+			}
+		}
+		rep := Run(context.Background(), missions, Options{Workers: workers})
+		if err := rep.FirstErr(); err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]byte, len(recs))
+		for i, rec := range recs {
+			var buf bytes.Buffer
+			w := soterobs.NewJSONLWriter(&buf)
+			for _, e := range rec.Events() {
+				w.OnEvent(e)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("mission %d recorded no events", i)
+			}
+			out[i] = buf.Bytes()
+		}
+		return out
+	}
+	serial, parallel := streams(1), streams(4)
+	for i := range serial {
+		if !bytes.Equal(serial[i], parallel[i]) {
+			t.Errorf("mission %d event streams diverge between 1 and 4 workers (%d vs %d bytes)",
+				i, len(serial[i]), len(parallel[i]))
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"reflect"
 	"testing"
 	"time"
@@ -72,7 +73,7 @@ func TestScenarioGridDeterministicAcrossWorkers(t *testing.T) {
 	cfg := gridUnderTest()
 	var baseline []sim.Metrics
 	for _, workers := range []int{1, 4, 16} {
-		rep := Run(ScenarioGrid(cfg), Options{Workers: workers})
+		rep := Run(context.Background(), ScenarioGrid(cfg), Options{Workers: workers})
 		if err := rep.FirstErr(); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/pubsub"
 	"repro/internal/rta"
 	"repro/internal/runtime"
@@ -35,13 +36,28 @@ type Config struct {
 	// OnSwitch, when set, is invoked (on a DM's goroutine) for every mode
 	// change. It must be fast and must not call back into the runner.
 	OnSwitch func(runtime.Switch)
+	// Observers receive the runner's event stream: obs.RunStart on Start,
+	// obs.ModeSwitch for every mode change and obs.RunEnd on Stop.
+	// Timestamps are wall-clock durations since Start. Events are delivered
+	// from a single dispatcher goroutine in emission order (so observers
+	// need not be concurrency-safe and a slow consumer cannot stall a DM
+	// tick), through a bounded queue: if a consumer falls far enough behind
+	// to fill it, mode-switch events are dropped rather than delaying the
+	// control path — this is the real-time runner, not the reference
+	// semantics. RunStart/RunEnd are never dropped, and Stop flushes the
+	// queue before returning.
+	Observers []obs.Observer
 }
+
+// eventQueueCap bounds the live runner's observer dispatch queue.
+const eventQueueCap = 1024
 
 // Runner executes the system until Stop is called. Create with New; a
 // Runner must not be copied.
 type Runner struct {
 	sys      *rta.System
 	onSwitch func(runtime.Switch)
+	byKind   [obs.KindCount][]obs.Observer
 
 	mu       sync.Mutex
 	store    *pubsub.Store
@@ -52,8 +68,14 @@ type Runner struct {
 
 	startOnce sync.Once
 	stopOnce  sync.Once
+	endOnce   sync.Once
 	stop      chan struct{}
 	wg        sync.WaitGroup
+
+	// events feeds the single dispatcher goroutine; nil when no observers
+	// are attached. dispatchDone closes when the dispatcher has drained.
+	events       chan obs.Event
+	dispatchDone chan struct{}
 }
 
 // New builds a runner in the initial configuration: every module in SC mode
@@ -84,6 +106,7 @@ func New(cfg Config) (*Runner, error) {
 	r := &Runner{
 		sys:      cfg.System,
 		onSwitch: cfg.OnSwitch,
+		byKind:   obs.ByKind(cfg.Observers),
 		store:    store,
 		oe:       make(map[string]bool),
 		modes:    make(map[string]rta.Mode),
@@ -96,7 +119,21 @@ func New(cfg Config) (*Runner, error) {
 	for _, m := range cfg.System.Modules() {
 		r.modes[m.Name()] = rta.ModeSC
 	}
+	if len(cfg.Observers) > 0 {
+		r.events = make(chan obs.Event, eventQueueCap)
+		r.dispatchDone = make(chan struct{})
+		go r.dispatch()
+	}
 	return r, nil
+}
+
+// dispatch is the single observer-delivery goroutine: events arrive in
+// emission order and each observer sees them sequentially.
+func (r *Runner) dispatch() {
+	defer close(r.dispatchDone)
+	for e := range r.events {
+		obs.Emit(r.byKind[e.Kind()], e)
+	}
 }
 
 // Start launches one goroutine per node. It is idempotent.
@@ -105,6 +142,14 @@ func (r *Runner) Start() {
 		r.mu.Lock()
 		r.started = time.Now()
 		r.mu.Unlock()
+		if r.events != nil && len(r.byKind[obs.KindRunStart]) > 0 {
+			modules := make([]string, 0, len(r.sys.Modules()))
+			for _, m := range r.sys.Modules() {
+				modules = append(modules, m.Name())
+			}
+			// Blocking send: the queue is empty before any node runs.
+			r.events <- obs.RunStart{Modules: modules}
+		}
 		for _, name := range r.sys.NodeNames() {
 			n, _ := r.sys.Node(name)
 			r.wg.Add(1)
@@ -117,6 +162,23 @@ func (r *Runner) Start() {
 func (r *Runner) Stop() {
 	r.stopOnce.Do(func() { close(r.stop) })
 	r.wg.Wait()
+	r.endOnce.Do(func() {
+		if r.events == nil {
+			return
+		}
+		r.mu.Lock()
+		started := r.started
+		r.mu.Unlock()
+		var elapsed time.Duration
+		if !started.IsZero() {
+			elapsed = time.Since(started)
+		}
+		// Every node goroutine has exited, so this send cannot race new
+		// emissions; closing then flushes the dispatcher.
+		r.events <- obs.RunEnd{T: elapsed}
+		close(r.events)
+		<-r.dispatchDone
+	})
 }
 
 // Mode returns the current mode of the named module.
@@ -261,13 +323,23 @@ func (r *Runner) forceCoordinatedLocked(trigger *rta.Module) {
 	}
 }
 
-// recordSwitchLocked appends a switch and dispatches the hook outside the
-// lock; the caller holds mu.
+// recordSwitchLocked appends a switch and dispatches the hook and observers
+// outside the lock; the caller holds mu.
 func (r *Runner) recordSwitchLocked(sw runtime.Switch) {
 	r.switches = append(r.switches, sw)
 	if r.onSwitch != nil {
 		// Dispatch asynchronously so a slow hook cannot stall a DM tick.
 		hook := r.onSwitch
 		go hook(sw)
+	}
+	if r.events != nil && len(r.byKind[obs.KindModeSwitch]) > 0 {
+		// Non-blocking: a consumer that has fallen eventQueueCap events
+		// behind loses switch events rather than stalling the DM tick.
+		select {
+		case r.events <- obs.ModeSwitch{
+			T: sw.Time, Module: sw.Module, From: sw.From, To: sw.To, Coordinated: sw.Coordinated,
+		}:
+		default:
+		}
 	}
 }

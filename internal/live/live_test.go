@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/pubsub"
 	"repro/internal/rta"
 	"repro/internal/runtime"
@@ -205,5 +206,60 @@ func TestLiveSetTopic(t *testing.T) {
 	}
 	if err := r.SetTopic("ghost", 1); err == nil {
 		t.Error("undeclared topic accepted")
+	}
+}
+
+// TestLiveObserverStream: observers see RunStart, an ordered per-module
+// switch stream delivered from a single goroutine (a non-concurrency-safe
+// sink like the recorder is legal), and a final RunEnd after Stop. Run with
+// -race this proves the dispatcher serialises delivery.
+func TestLiveObserverStream(t *testing.T) {
+	sys := buildLiveSystem(t)
+	rec := obs.NewRecorder(1 << 16)
+	r, err := New(Config{System: sys, Observers: []obs.Observer{rec}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	time.Sleep(500 * time.Millisecond)
+	r.Stop()
+	r.Stop() // idempotent: must not emit a second RunEnd
+
+	events := rec.Events()
+	if len(events) < 3 {
+		t.Fatalf("only %d events recorded", len(events))
+	}
+	start, ok := events[0].(obs.RunStart)
+	if !ok {
+		t.Fatalf("stream starts with %T, want RunStart", events[0])
+	}
+	if len(start.Modules) != 1 || start.Modules[0] != "r" {
+		t.Errorf("RunStart.Modules = %v", start.Modules)
+	}
+	ends := 0
+	var lastTo rta.Mode = rta.ModeSC
+	for _, e := range events[1:] {
+		switch ev := e.(type) {
+		case obs.RunEnd:
+			ends++
+		case obs.ModeSwitch:
+			// Per-module alternation: each switch leaves the mode the
+			// previous one entered — order survived the async dispatch.
+			if ev.From != lastTo {
+				t.Fatalf("out-of-order switch: from %v after %v", ev.From, lastTo)
+			}
+			lastTo = ev.To
+		default:
+			t.Fatalf("unexpected live event %T", e)
+		}
+	}
+	if ends != 1 {
+		t.Fatalf("RunEnd events = %d, want exactly 1", ends)
+	}
+	if _, ok := events[len(events)-1].(obs.RunEnd); !ok {
+		t.Errorf("stream ends with %T, want RunEnd", events[len(events)-1])
+	}
+	if lastTo == rta.ModeSC && len(events) == 2 {
+		t.Error("no switches observed; the ordering check is vacuous")
 	}
 }

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// MarshalEvent encodes the event as one JSON object with a leading "kind"
+// discriminator, e.g.
+//
+//	{"kind":"mode_switch","t_ns":12400000000,"module":"safe-motion-primitive","from":2,"to":1}
+//
+// The encoding round-trips through UnmarshalEvent.
+func MarshalEvent(e Event) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	// Splice the discriminator in front of the struct's own fields. Every
+	// event carries at least the timestamp, so the payload is never "{}".
+	out := make([]byte, 0, len(payload)+len(`{"kind":"",`)+len(e.Kind().String()))
+	out = append(out, `{"kind":"`...)
+	out = append(out, e.Kind().String()...)
+	out = append(out, `",`...)
+	out = append(out, payload[1:]...)
+	return out, nil
+}
+
+// UnmarshalEvent decodes one JSON line produced by MarshalEvent back into
+// its concrete event type.
+func UnmarshalEvent(line []byte) (Event, error) {
+	var head struct {
+		Kind string `json:"kind"`
+	}
+	if err := json.Unmarshal(line, &head); err != nil {
+		return nil, fmt.Errorf("obs: malformed event line: %w", err)
+	}
+	switch head.Kind {
+	case kindNames[KindRunStart]:
+		return decodeAs[RunStart](line)
+	case kindNames[KindRunEnd]:
+		return decodeAs[RunEnd](line)
+	case kindNames[KindNodeFired]:
+		return decodeAs[NodeFired](line)
+	case kindNames[KindModeSwitch]:
+		return decodeAs[ModeSwitch](line)
+	case kindNames[KindInvariantViolation]:
+		return decodeAs[InvariantViolation](line)
+	case kindNames[KindTimeProgress]:
+		return decodeAs[TimeProgress](line)
+	case kindNames[KindTrajectorySample]:
+		return decodeAs[TrajectorySample](line)
+	case kindNames[KindBatterySample]:
+		return decodeAs[BatterySample](line)
+	case kindNames[KindCrash]:
+		return decodeAs[Crash](line)
+	case kindNames[KindLanded]:
+		return decodeAs[Landed](line)
+	default:
+		return nil, fmt.Errorf("obs: unknown event kind %q", head.Kind)
+	}
+}
+
+// decodeAs unmarshals the line into a value of the concrete event type, so
+// decoded events compare equal to the value events emitters produce.
+func decodeAs[E Event](line []byte) (Event, error) {
+	var e E
+	if err := json.Unmarshal(line, &e); err != nil {
+		return nil, fmt.Errorf("obs: %s event: %w", e.Kind(), err)
+	}
+	return e, nil
+}
+
+// JSONLWriter streams events to an io.Writer as JSON Lines — the -trace
+// format of cmd/soter-sim. Writes are buffered and mutex-guarded, so one
+// writer may be shared across runs (e.g. a whole fleet tracing into one
+// file); events from a single run stay in emission order. The first write
+// error sticks: later events are dropped and Close reports it.
+type JSONLWriter struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	err error
+}
+
+// NewJSONLWriter wraps w in a line-oriented event sink.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{buf: bufio.NewWriter(w)}
+}
+
+// OnEvent implements Observer.
+func (s *JSONLWriter) OnEvent(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	line, err := MarshalEvent(e)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if _, err := s.buf.Write(line); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.buf.WriteByte('\n')
+}
+
+// Close flushes the buffer and returns the first error encountered. It does
+// not close the underlying writer.
+func (s *JSONLWriter) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.buf.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// ReadJSONL decodes a whole JSONL stream back into events — the replay path
+// for recorded traces. Blank lines are skipped; the first malformed line
+// aborts with its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		e, err := UnmarshalEvent(line)
+		if err != nil {
+			return out, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/rta"
+)
+
+// allEventKinds is one populated instance of every event variant — the
+// round-trip corpus. Adding a Kind without extending this list fails
+// TestEveryKindCovered.
+func allEventKinds() []Event {
+	return []Event{
+		RunStart{T: 0, Seed: 42, Label: "surveillance-city", Modules: []string{"a", "b"}},
+		RunEnd{T: 2 * time.Minute, TargetsVisited: 7, Battery: 0.625, Err: "context canceled"},
+		NodeFired{T: 10 * time.Millisecond, Node: "mpr.ac"},
+		NodeFired{T: 20 * time.Millisecond, Node: "mpr.dm", DM: true, Dropped: true},
+		ModeSwitch{T: 300 * time.Millisecond, Module: "safe-mpr", From: rta.ModeAC, To: rta.ModeSC, Coordinated: true},
+		InvariantViolation{T: 400 * time.Millisecond, Module: "safe-mpr", Mode: rta.ModeSC},
+		TimeProgress{T: 500 * time.Millisecond, Prev: 400 * time.Millisecond},
+		TrajectorySample{T: 505 * time.Millisecond, Pos: geom.V(1.5, -2.25, 3), Vel: geom.V(0.1, 0, -0.5), Mode: rta.ModeAC, Landed: true},
+		BatterySample{T: 600 * time.Millisecond, Charge: 0.87},
+		Crash{T: 700 * time.Millisecond, Pos: geom.V(9, 9, 0)},
+		Landed{T: 800 * time.Millisecond, Pos: geom.V(3, 3, 0.2), Battery: 0.3},
+	}
+}
+
+// TestEveryKindCovered pins the corpus to the Kind enum, so the JSONL
+// round-trip below really covers the whole taxonomy.
+func TestEveryKindCovered(t *testing.T) {
+	seen := map[Kind]bool{}
+	for _, e := range allEventKinds() {
+		seen[e.Kind()] = true
+	}
+	for k := Kind(0); k < Kind(KindCount); k++ {
+		if !seen[k] {
+			t.Errorf("no corpus event of kind %v", k)
+		}
+	}
+}
+
+// TestJSONLRoundTrip: write the corpus through the JSONL sink, read it back,
+// and require exact value equality — the replay contract of -trace files.
+func TestJSONLRoundTrip(t *testing.T) {
+	events := allEventKinds()
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	for _, e := range events {
+		w.OnEvent(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(events) {
+		t.Fatalf("wrote %d lines, want %d", n, len(events))
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if !reflect.DeepEqual(got[i], events[i]) {
+			t.Errorf("event %d round-trips to\n%#v\nwant\n%#v", i, got[i], events[i])
+		}
+	}
+}
+
+// TestJSONLKindDiscriminator: every line leads with its wire kind, so
+// line-oriented tools (jq, grep) can filter without schema knowledge.
+func TestJSONLKindDiscriminator(t *testing.T) {
+	for _, e := range allEventKinds() {
+		line, err := MarshalEvent(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf(`{"kind":"%s",`, e.Kind())
+		if !strings.HasPrefix(string(line), want) {
+			t.Errorf("line %q does not start with %q", line, want)
+		}
+	}
+}
+
+// TestUnmarshalRejectsGarbage: malformed lines and unknown kinds error
+// rather than decoding to a zero event.
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	for _, line := range []string{"not json", `{"kind":"warp_drive","t_ns":1}`, `{"t_ns":1}`} {
+		if _, err := UnmarshalEvent([]byte(line)); err == nil {
+			t.Errorf("UnmarshalEvent(%q) succeeded", line)
+		}
+	}
+}
+
+// TestRecorderBound: the recorder keeps exactly the most recent cap events
+// in arrival order and counts evictions.
+func TestRecorderBound(t *testing.T) {
+	const capacity, total = 8, 21
+	r := NewRecorder(capacity)
+	for i := 0; i < total; i++ {
+		r.OnEvent(BatterySample{T: time.Duration(i), Charge: float64(i)})
+	}
+	if r.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", r.Len(), capacity)
+	}
+	if r.Dropped() != total-capacity {
+		t.Fatalf("Dropped = %d, want %d", r.Dropped(), total-capacity)
+	}
+	events := r.Events()
+	for i, e := range events {
+		want := time.Duration(total - capacity + i)
+		if e.Time() != want {
+			t.Errorf("event %d at t=%v, want %v (oldest-first order)", i, e.Time(), want)
+		}
+	}
+}
+
+// TestMultiFanOutAndInterests: Multi delivers in order and respects member
+// interest masks; its own mask is the union.
+func TestMultiFanOutAndInterests(t *testing.T) {
+	var order []string
+	all := ObserverFunc(func(e Event) { order = append(order, "all:"+e.Kind().String()) })
+	crashes := kindFiltered{KindSet: Kinds(KindCrash), fn: func(e Event) { order = append(order, "crash:"+e.Kind().String()) }}
+	m := Multi{all, crashes}
+	if got, want := m.Interests(), AllKinds; got != want {
+		t.Fatalf("Interests = %b, want %b", got, want)
+	}
+	m.OnEvent(Crash{T: 1})
+	m.OnEvent(BatterySample{T: 2})
+	want := []string{"all:crash", "crash:crash", "all:battery_sample"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("dispatch order = %v, want %v", order, want)
+	}
+}
+
+type kindFiltered struct {
+	KindSet
+	fn func(Event)
+}
+
+func (k kindFiltered) OnEvent(e Event)    { k.fn(e) }
+func (k kindFiltered) Interests() KindSet { return k.KindSet }
+
+// TestByKindHonoursInterests: the dispatch table only routes kinds an
+// observer asked for.
+func TestByKindHonoursInterests(t *testing.T) {
+	narrow := kindFiltered{KindSet: Kinds(KindModeSwitch, KindRunEnd), fn: func(Event) {}}
+	wide := ObserverFunc(func(Event) {})
+	table := ByKind([]Observer{narrow, wide})
+	if got := len(table[KindModeSwitch]); got != 2 {
+		t.Errorf("mode_switch list has %d observers, want 2", got)
+	}
+	if got := len(table[KindNodeFired]); got != 1 {
+		t.Errorf("node_fired list has %d observers, want 1 (narrow excluded)", got)
+	}
+}
+
+// TestMetricsSinkAggregation: a hand-written stream aggregates to the
+// expected metrics, including partial accounting before RunEnd.
+func TestMetricsSinkAggregation(t *testing.T) {
+	s := NewMetricsSink(nil)
+	s.OnEvent(RunStart{Modules: []string{"m1", "m2"}})
+	s.OnEvent(NodeFired{T: 1, Node: "n", Dropped: true})
+	s.OnEvent(NodeFired{T: 2, Node: "n"})
+	s.OnEvent(ModeSwitch{T: 10 * time.Second, Module: "m1", From: rta.ModeSC, To: rta.ModeAC})
+	s.OnEvent(InvariantViolation{T: 11 * time.Second, Module: "m1", Mode: rta.ModeAC})
+	s.OnEvent(Crash{T: 12 * time.Second, Pos: geom.V(1, 2, 0)})
+	s.OnEvent(Crash{T: 13 * time.Second, Pos: geom.V(5, 5, 0)})
+	s.OnEvent(RunEnd{T: 30 * time.Second, TargetsVisited: 4, Battery: 0.5})
+
+	m := s.Metrics()
+	if m.DroppedFirings != 1 || m.InvariantViolations != 1 {
+		t.Errorf("dropped=%d violations=%d, want 1 and 1", m.DroppedFirings, m.InvariantViolations)
+	}
+	if !m.Crashed || m.Collisions != 2 || m.CrashTime != 12*time.Second || m.CrashPos != geom.V(1, 2, 0) {
+		t.Errorf("crash accounting = %+v", m)
+	}
+	if m.Duration != 30*time.Second || m.TargetsVisited != 4 || m.BatteryAtEnd != 0.5 {
+		t.Errorf("run-end accounting = %+v", m)
+	}
+	want := map[string]ModuleStats{
+		"m1": {Reengagements: 1, SCTime: 10 * time.Second, ACTime: 20 * time.Second},
+		"m2": {SCTime: 30 * time.Second},
+	}
+	if !reflect.DeepEqual(m.Modules, want) {
+		t.Errorf("modules = %+v, want %+v", m.Modules, want)
+	}
+}

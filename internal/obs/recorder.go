@@ -1,0 +1,66 @@
+package obs
+
+import "sync"
+
+// DefaultRecorderCap bounds a Recorder built with a non-positive capacity.
+const DefaultRecorderCap = 8192
+
+// Recorder is a bounded in-memory event sink: it keeps the most recent Cap
+// events as a ring, dropping the oldest when full — the black-box flight
+// recorder of the layer. It is mutex-guarded, so it may be shared across
+// goroutines; Events returns the retained tail in arrival order.
+type Recorder struct {
+	mu      sync.Mutex
+	events  []Event
+	start   int
+	filled  bool
+	dropped uint64
+}
+
+// NewRecorder builds a recorder retaining at most capacity events
+// (DefaultRecorderCap when capacity is not positive).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCap
+	}
+	return &Recorder{events: make([]Event, 0, capacity)}
+}
+
+// OnEvent implements Observer.
+func (r *Recorder) OnEvent(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.filled {
+		r.events = append(r.events, e)
+		r.filled = len(r.events) == cap(r.events)
+		return
+	}
+	// Ring overwrite: the slot at start holds the oldest event.
+	r.events[r.start] = e
+	r.start = (r.start + 1) % len(r.events)
+	r.dropped++
+}
+
+// Events returns a copy of the retained events in arrival order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.events))
+	out = append(out, r.events[r.start:]...)
+	out = append(out, r.events[:r.start]...)
+	return out
+}
+
+// Len returns how many events are currently retained.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Dropped returns how many events were evicted to respect the bound.
+func (r *Recorder) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}

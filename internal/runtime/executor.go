@@ -20,12 +20,14 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"repro/internal/calendar"
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/pubsub"
 	"repro/internal/rta"
 )
@@ -106,10 +108,35 @@ func WithInvariantChecking() Option {
 	return func(e *Executor) { e.checkInv = true }
 }
 
-// WithSwitchHook registers a callback invoked on every DM mode change.
-func WithSwitchHook(fn func(Switch)) Option {
-	return func(e *Executor) { e.onSwitch = append(e.onSwitch, fn) }
+// WithObservers attaches observers to the executor's event stream: the
+// executor emits obs.NodeFired at every firing (including drop-filtered
+// ones), obs.ModeSwitch at every DM mode change, obs.InvariantViolation when
+// the checked-mode monitor trips, and obs.TimeProgress at every
+// DISCRETE-TIME-PROGRESS-STEP. Events are delivered synchronously on the run
+// goroutine, in a deterministic order for a given system and schedule.
+func WithObservers(observers ...obs.Observer) Option {
+	return func(e *Executor) { e.observers = append(e.observers, observers...) }
 }
+
+// WithSwitchHook registers a callback invoked on every DM mode change. It is
+// a shim over the observer layer — equivalent to WithObservers with an
+// observer interested only in obs.ModeSwitch events.
+func WithSwitchHook(fn func(Switch)) Option {
+	return WithObservers(switchHook(fn))
+}
+
+// switchHook adapts a legacy switch callback to the observer layer.
+type switchHook func(Switch)
+
+// OnEvent implements obs.Observer.
+func (h switchHook) OnEvent(e obs.Event) {
+	if sw, ok := e.(obs.ModeSwitch); ok {
+		h(Switch{Time: sw.T, Module: sw.Module, From: sw.From, To: sw.To, Coordinated: sw.Coordinated})
+	}
+}
+
+// Interests implements obs.Interested.
+func (h switchHook) Interests() obs.KindSet { return obs.Kinds(obs.KindModeSwitch) }
 
 // WithDropFilter installs a firing filter: before a node fires, drop(ct,
 // name) is consulted and, when true, the firing is skipped (the node misses
@@ -130,7 +157,13 @@ type Executor struct {
 	order    ScheduleOrder
 	drop     func(time.Duration, string) bool
 	checkInv bool
-	onSwitch []func(Switch)
+
+	// observers is the attached observer set; byKind is the per-kind
+	// dispatch table derived from it at construction. Emission sites check
+	// the relevant list for emptiness before constructing an event, so
+	// unobserved kinds cost nothing on the per-firing hot path.
+	observers []obs.Observer
+	byKind    [obs.KindCount][]obs.Observer
 
 	// Per-node input plumbing, precomputed at construction: the store's
 	// dense topic IDs for each node's subscriptions and a reusable input
@@ -208,6 +241,7 @@ func New(sys *rta.System, envTopics []pubsub.Topic, opts ...Option) (*Executor, 
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.byKind = obs.ByKind(e.observers)
 	return e, nil
 }
 
@@ -265,7 +299,12 @@ func (e *Executor) Step() (bool, error) {
 	name := e.cfg.FN[0]
 	e.cfg.FN = e.cfg.FN[1:]
 	if e.drop != nil && e.drop(e.cfg.CT, name) {
-		return true, nil // firing skipped: missed deadline
+		// Firing skipped: missed deadline.
+		if list := e.byKind[obs.KindNodeFired]; len(list) > 0 {
+			_, isDM := e.sys.IsDM(name)
+			obs.Emit(list, obs.NodeFired{T: e.cfg.CT, Node: name, DM: isDM, Dropped: true})
+		}
+		return true, nil
 	}
 	if err := e.fire(name); err != nil {
 		return false, err
@@ -273,11 +312,21 @@ func (e *Executor) Step() (bool, error) {
 	return true, nil
 }
 
-// RunUntil advances the system until ct would exceed deadline. All firings
-// at instants ≤ deadline are executed.
-func (e *Executor) RunUntil(deadline time.Duration) error {
+// Run advances the system until ct would exceed deadline or the context is
+// cancelled (checked at every time progress, so cancellation lands between
+// instants, never splitting the firings of one instant). All firings at
+// instants ≤ deadline are executed; on cancellation the context's error is
+// returned and the executor is left in a consistent configuration from which
+// Run may be called again.
+func (e *Executor) Run(ctx context.Context, deadline time.Duration) error {
+	done := ctx.Done()
 	for {
 		if len(e.cfg.FN) == 0 {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
 			next, _, ok := e.cal.NextTime(e.cfg.CT)
 			if !ok || next > deadline {
 				return nil
@@ -287,6 +336,12 @@ func (e *Executor) RunUntil(deadline time.Duration) error {
 			return err
 		}
 	}
+}
+
+// RunUntil advances the system until ct would exceed deadline. All firings
+// at instants ≤ deadline are executed. It is Run without cancellation.
+func (e *Executor) RunUntil(deadline time.Duration) error {
+	return e.Run(context.Background(), deadline)
 }
 
 // timeProgress implements DISCRETE-TIME-PROGRESS-STEP plus the environment
@@ -302,6 +357,12 @@ func (e *Executor) timeProgress() (bool, error) {
 		if err := e.env.Advance(prev, next, e.cfg.Topics); err != nil {
 			return false, fmt.Errorf("environment at t=%v: %w", next, err)
 		}
+	}
+	// Emitted after the environment hook, so an environment that itself
+	// emits events (the simulator's per-sub-step trajectory samples) keeps
+	// the stream's timestamps monotone.
+	if list := e.byKind[obs.KindTimeProgress]; len(list) > 0 {
+		obs.Emit(list, obs.TimeProgress{T: next, Prev: prev})
 	}
 	e.cfg.FN = e.orderFiring(next, firing)
 	return true, nil
@@ -338,13 +399,17 @@ func (e *Executor) fire(name string) error {
 		return fmt.Errorf("firing unknown node %q", name)
 	}
 	e.steps++
+	m, isDM := e.sys.IsDM(name)
+	if list := e.byKind[obs.KindNodeFired]; len(list) > 0 {
+		obs.Emit(list, obs.NodeFired{T: e.cfg.CT, Node: name, DM: isDM})
+	}
 	// The input valuation is a per-node reusable buffer filled through the
 	// store's dense topic IDs; it is only valid for the duration of the
 	// firing (nodes must not retain it, per the StepFunc contract).
 	in := e.inBuf[name]
 	e.cfg.Topics.ReadInto(e.inIDs[name], in)
 
-	if m, isDM := e.sys.IsDM(name); isDM {
+	if isDM {
 		return e.fireDM(m, n, in)
 	}
 
@@ -383,11 +448,7 @@ func (e *Executor) fireDM(m *rta.Module, dmNode *node.Node, in pubsub.Valuation)
 	e.cfg.OE[m.SC().Name()] = !enAC
 
 	if mode != prev {
-		sw := Switch{Time: e.cfg.CT, Module: m.Name(), From: prev, To: mode}
-		e.switches = append(e.switches, sw)
-		for _, fn := range e.onSwitch {
-			fn(sw)
-		}
+		e.recordSwitch(Switch{Time: e.cfg.CT, Module: m.Name(), From: prev, To: mode})
 		// Coordinated switching (Section VII): a disengagement demotes the
 		// coordinated partner modules to SC immediately.
 		if mode == rta.ModeSC {
@@ -396,10 +457,21 @@ func (e *Executor) fireDM(m *rta.Module, dmNode *node.Node, in pubsub.Valuation)
 	}
 	if e.checkInv {
 		if !m.SafeHolds(in) || !m.InvariantHolds(mode, in) {
+			if list := e.byKind[obs.KindInvariantViolation]; len(list) > 0 {
+				obs.Emit(list, obs.InvariantViolation{T: e.cfg.CT, Module: m.Name(), Mode: mode})
+			}
 			return &InvariantViolationError{Time: e.cfg.CT, Module: m.Name(), Mode: mode}
 		}
 	}
 	return nil
+}
+
+// recordSwitch appends to the switch log and emits the obs.ModeSwitch event.
+func (e *Executor) recordSwitch(sw Switch) {
+	e.switches = append(e.switches, sw)
+	if list := e.byKind[obs.KindModeSwitch]; len(list) > 0 {
+		obs.Emit(list, obs.ModeSwitch{T: sw.Time, Module: sw.Module, From: sw.From, To: sw.To, Coordinated: sw.Coordinated})
+	}
 }
 
 // forceCoordinated demotes every module coordinated with the trigger to SC
@@ -415,17 +487,13 @@ func (e *Executor) forceCoordinated(trigger *rta.Module) {
 		e.cfg.Local[dmName] = rta.ModeSC
 		e.cfg.OE[partner.AC().Name()] = false
 		e.cfg.OE[partner.SC().Name()] = true
-		sw := Switch{
+		e.recordSwitch(Switch{
 			Time:        e.cfg.CT,
 			Module:      partner.Name(),
 			From:        prev,
 			To:          rta.ModeSC,
 			Coordinated: true,
-		}
-		e.switches = append(e.switches, sw)
-		for _, fn := range e.onSwitch {
-			fn(sw)
-		}
+		})
 	}
 }
 

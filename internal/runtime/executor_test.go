@@ -1,12 +1,14 @@
 package runtime
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/pubsub"
 	"repro/internal/rta"
 )
@@ -463,5 +465,160 @@ func TestCoordinatedSwitching(t *testing.T) {
 	}
 	if mode, _ := exec.Mode("B"); mode != rta.ModeAC {
 		t.Errorf("B did not re-engage after coordination: %v", mode)
+	}
+}
+
+// TestRunHonoursContext: a cancelled context stops Run between instants
+// with the context's error; the executor stays consistent and resumable.
+func TestRunHonoursContext(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	exec := newTestExec(t, m)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := exec.Run(ctx, time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run = %v, want context.Canceled", err)
+	}
+	if exec.Now() != 0 {
+		t.Errorf("cancelled-before-start run advanced to %v", exec.Now())
+	}
+	// The executor resumes cleanly under a live context.
+	if err := exec.Run(context.Background(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if exec.Now() != time.Second {
+		t.Errorf("resumed run stopped at %v", exec.Now())
+	}
+}
+
+// TestExecutorEventStream: the executor emits TimeProgress per instant,
+// NodeFired per firing (DMs flagged, drops flagged), and ModeSwitch events
+// identical to the switch log — in a deterministic order.
+func TestExecutorEventStream(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	rec := obs.NewRecorder(0)
+	drops := 0
+	exec := newTestExec(t, m,
+		WithObservers(rec),
+		WithDropFilter(func(ct time.Duration, name string) bool {
+			// Drop exactly one SC firing mid-run.
+			if name == "tm.sc" && ct == 300*time.Millisecond && drops == 0 {
+				drops++
+				return true
+			}
+			return false
+		}),
+	)
+	if err := exec.Topics().Set("calm", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.RunUntil(500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	var progresses, fired, dmFired, dropped int
+	var switches []Switch
+	for _, e := range rec.Events() {
+		switch ev := e.(type) {
+		case obs.TimeProgress:
+			progresses++
+		case obs.NodeFired:
+			if ev.Dropped {
+				dropped++
+				if ev.Node != "tm.sc" {
+					t.Errorf("dropped firing attributed to %q", ev.Node)
+				}
+				continue
+			}
+			fired++
+			if ev.DM {
+				dmFired++
+			}
+		case obs.ModeSwitch:
+			switches = append(switches, Switch{Time: ev.T, Module: ev.Module, From: ev.From, To: ev.To, Coordinated: ev.Coordinated})
+		}
+	}
+	// 5 instants (100..500ms), each firing DM + both controllers; one SC
+	// firing dropped.
+	if progresses != 5 {
+		t.Errorf("TimeProgress events = %d, want 5", progresses)
+	}
+	if dmFired != 5 {
+		t.Errorf("DM firings = %d, want 5", dmFired)
+	}
+	if dropped != 1 {
+		t.Errorf("dropped firings = %d, want 1", dropped)
+	}
+	if fired != 5*3-1 {
+		t.Errorf("executed firings = %d, want %d", fired, 5*3-1)
+	}
+	if !reflect.DeepEqual(switches, exec.Switches()) {
+		t.Errorf("ModeSwitch events %v diverge from switch log %v", switches, exec.Switches())
+	}
+	if uint64(fired) != exec.Steps() {
+		t.Errorf("NodeFired events %d != Steps() %d", fired, exec.Steps())
+	}
+}
+
+// TestSwitchHookIsObserverShim: the legacy hook and a ModeSwitch observer
+// see the identical switch sequence.
+func TestSwitchHookIsObserverShim(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	var hooked, observed []Switch
+	exec := newTestExec(t, m,
+		WithSwitchHook(func(sw Switch) { hooked = append(hooked, sw) }),
+		WithObservers(obs.ObserverFunc(func(e obs.Event) {
+			if sw, ok := e.(obs.ModeSwitch); ok {
+				observed = append(observed, Switch{Time: sw.T, Module: sw.Module, From: sw.From, To: sw.To, Coordinated: sw.Coordinated})
+			}
+		})),
+	)
+	if err := exec.Topics().Set("calm", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.RunUntil(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.Topics().Set("danger", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := exec.RunUntil(600 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(hooked) == 0 {
+		t.Fatal("no switches recorded; the comparison is vacuous")
+	}
+	if !reflect.DeepEqual(hooked, observed) {
+		t.Errorf("hook saw %v, observer saw %v", hooked, observed)
+	}
+	if !reflect.DeepEqual(hooked, exec.Switches()) {
+		t.Errorf("hook saw %v, switch log says %v", hooked, exec.Switches())
+	}
+}
+
+// TestInvariantViolationEvent: the checked-mode monitor emits the event
+// alongside the error.
+func TestInvariantViolationEvent(t *testing.T) {
+	m := testModule(t, 100*time.Millisecond)
+	rec := obs.NewRecorder(0)
+	exec := newTestExec(t, m, WithInvariantChecking(), WithObservers(rec))
+	if err := exec.Topics().Set("crashed", true); err != nil {
+		t.Fatal(err)
+	}
+	err := exec.RunUntil(time.Second)
+	var iv *InvariantViolationError
+	if !errors.As(err, &iv) {
+		t.Fatalf("err = %v, want InvariantViolationError", err)
+	}
+	var events []obs.InvariantViolation
+	for _, e := range rec.Events() {
+		if v, ok := e.(obs.InvariantViolation); ok {
+			events = append(events, v)
+		}
+	}
+	if len(events) != 1 {
+		t.Fatalf("InvariantViolation events = %d, want 1", len(events))
+	}
+	if events[0].T != iv.Time || events[0].Module != iv.Module || events[0].Mode != iv.Mode {
+		t.Errorf("event %+v diverges from error %+v", events[0], iv)
 	}
 }

@@ -1,9 +1,14 @@
 // Package sim closes the loop between an RTA system built by
 // internal/mission and the drone plant: it implements the runtime's
 // Environment hook (integrating the dynamics between discrete events and
-// publishing the trusted state estimate) and collects the metrics the
-// paper's evaluation reports — disengagements, crashes, distance flown,
-// AC-control time fraction, mission timing.
+// publishing the trusted state estimate) and emits the closed-loop half of
+// the run's event stream (trajectory samples, battery samples, crashes,
+// touchdowns, run start/end) into the unified observer layer (internal/obs).
+// The metrics the paper's evaluation reports — disengagements, crashes,
+// distance flown, AC-control time fraction, mission timing — are aggregated
+// from that stream by an obs.MetricsSink; callers may attach any further
+// observers (JSONL tracing, bounded recorders, custom monitors) through
+// RunConfig.Observers and cancel a run through RunConfig.Context.
 //
 // It also models the best-effort OS scheduling the paper identifies as the
 // cause of the endurance experiment's crashes ("the DM node did switch
@@ -13,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -20,6 +26,7 @@ import (
 
 	"repro/internal/geom"
 	"repro/internal/mission"
+	"repro/internal/obs"
 	"repro/internal/plant"
 	"repro/internal/pubsub"
 	"repro/internal/rta"
@@ -34,57 +41,21 @@ type TrajectoryPoint struct {
 	Mode rta.Mode // motion-primitive module mode (ModeAC when unprotected)
 }
 
-// ModuleStats aggregates per-module switching statistics.
-type ModuleStats struct {
-	// Disengagements counts AC→SC switches (the SC "taking over").
-	Disengagements int
-	// Reengagements counts SC→AC switches (performance restored).
-	Reengagements int
-	// ACTime and SCTime accumulate wall-clock time spent in each mode.
-	ACTime, SCTime time.Duration
-}
+// ModuleStats aggregates per-module switching statistics. It lives in
+// internal/obs (the metrics are aggregated from the event stream) and is
+// re-exported here for the simulation-facing callers.
+type ModuleStats = obs.ModuleStats
 
-// ACFraction returns the fraction of time the module ran its AC.
-func (m ModuleStats) ACFraction() float64 {
-	total := m.ACTime + m.SCTime
-	if total == 0 {
-		return 0
-	}
-	return float64(m.ACTime) / float64(total)
-}
+// Metrics summarises one simulation run. It is produced by the
+// obs.MetricsSink aggregating the run's event stream.
+type Metrics = obs.Metrics
 
-// Metrics summarises one simulation run.
-type Metrics struct {
-	Duration      time.Duration
-	DistanceFlown float64
-	Crashed       bool
-	CrashTime     time.Duration
-	CrashPos      geom.Vec3
-	Landed        bool
-	LandTime      time.Duration
-	MinClearance  float64
-	// Collisions counts distinct collision episodes (entries into an
-	// obstacle or the ground); with KeepFlyingAfterCrash the run continues
-	// through them, which is how the unprotected baselines are scored.
-	Collisions     int
-	TargetsVisited int
-	BatteryAtEnd   float64
-	// Modules maps module name to its switching statistics.
-	Modules map[string]ModuleStats
-	// DroppedFirings counts node firings skipped by scheduler jitter.
-	DroppedFirings int
-	// InvariantViolations counts φInv monitor failures (checked mode).
-	InvariantViolations int
-}
+// MetricsSink aggregates an event stream into Metrics — re-exported so
+// callers replaying recorded streams need only this package.
+type MetricsSink = obs.MetricsSink
 
-// TotalDisengagements sums disengagements across modules.
-func (m Metrics) TotalDisengagements() int {
-	n := 0
-	for _, s := range m.Modules {
-		n += s.Disengagements
-	}
-	return n
-}
+// NewMetricsSink builds a sink measuring clearance against ws.
+func NewMetricsSink(ws *geom.Workspace) *MetricsSink { return obs.NewMetricsSink(ws) }
 
 // RunConfig configures a closed-loop run.
 type RunConfig struct {
@@ -98,6 +69,16 @@ type RunConfig struct {
 	PhysicsStep time.Duration
 	// Seed drives sensor noise and scheduler jitter.
 	Seed int64
+	// Context, when non-nil, cancels the run between executor slices: Run
+	// returns the partial Result accumulated so far together with the
+	// context's error. Nil means run to completion.
+	Context context.Context
+	// Observers receive the run's full event stream (runtime events and the
+	// closed-loop events) in deterministic emission order, after the
+	// internal metrics sink.
+	Observers []obs.Observer
+	// Label names the run in its RunStart event (scenario or mission name).
+	Label string
 	// JitterProb is the per-firing probability that a node enters a
 	// scheduling outage (a burst of missed deadlines, 200-600 ms long) —
 	// zero models an RTOS, positive values model the best-effort scheduling
@@ -174,10 +155,9 @@ func (e *environment) Advance(prev, now time.Duration, topics *pubsub.Store) err
 		if v, ok := topics.GetID(e.cmdID).(geom.Vec3); ok {
 			cmd = v
 		}
-		before := e.state
 		e.state = e.drone.Step(e.state, cmd, dt)
 		t += dt
-		e.run.observe(t, before, e.state, topics)
+		e.run.observe(t, e.state, topics)
 		if e.run.crashed && !e.run.cfg.KeepFlyingAfterCrash {
 			break
 		}
@@ -186,38 +166,59 @@ func (e *environment) Advance(prev, now time.Duration, topics *pubsub.Store) err
 	return nil
 }
 
-// runner owns the mutable run bookkeeping.
+// modeTracker caches the motion-primitive module's current mode from the
+// switch stream, so per-sub-step trajectory samples carry it without
+// querying the executor on the hot path.
+type modeTracker struct {
+	module string
+	mode   rta.Mode
+}
+
+// Interests implements obs.Interested.
+func (t *modeTracker) Interests() obs.KindSet { return obs.Kinds(obs.KindModeSwitch) }
+
+// OnEvent implements obs.Observer.
+func (t *modeTracker) OnEvent(e obs.Event) {
+	if sw, ok := e.(obs.ModeSwitch); ok && sw.Module == t.module {
+		t.mode = sw.To
+	}
+}
+
+// runner owns the run's control flow (when to stop, what the environment
+// does on ground contact) and the closed-loop emission points. All metric
+// bookkeeping lives in the obs.MetricsSink attached to the same stream.
 type runner struct {
-	cfg         RunConfig
-	ws          *geom.Workspace
-	metrics     Metrics
+	cfg  RunConfig
+	ws   *geom.Workspace
+	sink *obs.MetricsSink
+	// Per-kind dispatch lists over sink + tracker + cfg.Observers for the
+	// closed-loop emission points.
+	byKind [obs.KindCount][]obs.Observer
+	// Control-flow flags: crash/touchdown end the run (metrics aside).
 	crashed     bool
+	landed      bool
 	inCollision bool
+	tracker     *modeTracker
 	traj        []TrajectoryPoint
-	lastPos     geom.Vec3
-	havePos     bool
 	rng         *rand.Rand
 	// outageUntil tracks per-node scheduling outages (jitter model).
 	outageUntil map[string]time.Duration
-	// mode tracking for AC-time accounting
-	modeSince map[string]time.Duration
-	modeNow   map[string]rta.Mode
-	exec      *runtime.Executor
-	env       *environment
-	trajEvery time.Duration
-	trajLast  time.Duration
+	exec        *runtime.Executor
+	env         *environment
+	trajEvery   time.Duration
+	trajLast    time.Duration
+	batLast     time.Duration
 }
 
-// observe is called after every physics sub-step.
-func (r *runner) observe(t time.Duration, before, after plant.State, topics *pubsub.Store) {
-	if r.havePos {
-		r.metrics.DistanceFlown += after.Pos.Dist(r.lastPos)
-	}
-	r.lastPos = after.Pos
-	r.havePos = true
+// emit delivers a closed-loop event to the observers interested in its kind.
+func (r *runner) emit(e obs.Event) { obs.Emit(r.byKind[e.Kind()], e) }
 
-	if c := r.ws.Clearance(after.Pos); !after.Landed && (r.metrics.MinClearance == 0 || c < r.metrics.MinClearance) {
-		r.metrics.MinClearance = c
+// observe is called after every physics sub-step.
+func (r *runner) observe(t time.Duration, after plant.State, topics *pubsub.Store) {
+	if list := r.byKind[obs.KindTrajectorySample]; len(list) > 0 {
+		obs.Emit(list, obs.TrajectorySample{
+			T: t, Pos: after.Pos, Vel: after.Vel, Mode: r.tracker.mode, Landed: after.Landed,
+		})
 	}
 
 	// Ground contact: intended landing vs crash.
@@ -249,25 +250,21 @@ func (r *runner) observe(t time.Duration, before, after plant.State, topics *pub
 func (r *runner) markCrash(t time.Duration, pos geom.Vec3) {
 	if !r.inCollision {
 		r.inCollision = true
-		r.metrics.Collisions++
-	}
-	if r.crashed {
-		return
+		r.emit(obs.Crash{T: t, Pos: pos})
 	}
 	r.crashed = true
-	r.metrics.Crashed = true
-	r.metrics.CrashTime = t
-	r.metrics.CrashPos = pos
 }
 
 func (r *runner) markLanded(t time.Duration) {
-	if !r.metrics.Landed {
-		r.metrics.Landed = true
-		r.metrics.LandTime = t
+	if !r.landed {
+		r.landed = true
+		r.emit(obs.Landed{T: t, Pos: r.env.state.Pos, Battery: r.env.state.Battery})
 	}
 }
 
-// Run executes one closed-loop simulation.
+// Run executes one closed-loop simulation. A run cancelled through
+// RunConfig.Context returns the consistent partial Result accumulated so far
+// together with the context's error; any other error returns a nil Result.
 func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Stack == nil {
 		return nil, fmt.Errorf("sim: nil stack")
@@ -281,22 +278,40 @@ func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Initial.Battery == 0 {
 		cfg.Initial.Battery = 1
 	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ws := cfg.Stack.Config.Workspace
 	drone, err := plant.NewDrone(cfg.Stack.Config.PlantParams, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
 
+	tracker := &modeTracker{mode: rta.ModeSC}
+	if pm := cfg.Stack.PrimitiveModule; pm != nil {
+		tracker.module = pm.Name()
+	} else {
+		// No protected motion layer: trajectory samples report ModeAC, like
+		// the unprotected baselines of Figure 12a.
+		tracker.mode = rta.ModeAC
+	}
+	sink := obs.NewMetricsSink(ws)
+	// Observer order is part of the stream contract: the tracker first (so
+	// samples emitted later in the same instant see the fresh mode), then
+	// the metrics sink, then the caller's observers.
+	observers := append([]obs.Observer{tracker, sink}, cfg.Observers...)
+
 	r := &runner{
 		cfg:         cfg,
 		ws:          ws,
+		sink:        sink,
+		byKind:      obs.ByKind(observers),
+		tracker:     tracker,
 		rng:         rand.New(rand.NewSource(cfg.Seed + 7)),
 		outageUntil: make(map[string]time.Duration),
-		modeSince:   make(map[string]time.Duration),
-		modeNow:     make(map[string]rta.Mode),
 		trajEvery:   50 * time.Millisecond,
 	}
-	r.metrics.Modules = make(map[string]ModuleStats)
 	env := &environment{
 		drone:   drone,
 		ws:      ws,
@@ -309,7 +324,7 @@ func Run(cfg RunConfig) (*Result, error) {
 
 	opts := []runtime.Option{
 		runtime.WithEnvironment(env),
-		runtime.WithSwitchHook(r.onSwitch),
+		runtime.WithObservers(observers...),
 	}
 	if cfg.JitterProb > 0 {
 		opts = append(opts, runtime.WithDropFilter(r.dropFilter))
@@ -326,18 +341,20 @@ func Run(cfg RunConfig) (*Result, error) {
 	if err := env.resolveTopics(exec.Topics()); err != nil {
 		return nil, fmt.Errorf("sim: %w", err)
 	}
+	modules := make([]string, 0, len(cfg.Stack.System.Modules()))
 	for _, m := range cfg.Stack.System.Modules() {
-		r.modeNow[m.Name()] = rta.ModeSC
-		r.modeSince[m.Name()] = 0
+		modules = append(modules, m.Name())
 	}
+	r.emit(obs.RunStart{T: 0, Seed: cfg.Seed, Label: cfg.Label, Modules: modules})
 
-	// Main loop: run until the deadline, a crash, or touchdown.
+	// Main loop: run until the deadline, a crash, touchdown or cancellation.
 	deadline := cfg.Duration
+	var runErr error
 	for exec.Now() < deadline {
 		if r.crashed && !cfg.KeepFlyingAfterCrash {
 			break
 		}
-		if r.metrics.Landed {
+		if r.landed {
 			break
 		}
 		if cfg.StopAfterVisits > 0 && visitsSoFar(exec, cfg.Stack) >= cfg.StopAfterVisits {
@@ -347,55 +364,63 @@ func Run(cfg RunConfig) (*Result, error) {
 		if stepUntil > deadline {
 			stepUntil = deadline
 		}
-		if err := runSlice(exec, stepUntil, r, cfg); err != nil {
+		if err := runSlice(ctx, exec, stepUntil, cfg); err != nil {
+			if cancelled(ctx, err) {
+				runErr = err
+				break
+			}
 			return nil, err
 		}
 		r.sampleTrajectory()
+		r.sampleBattery()
 	}
 
 	end := exec.Now()
-	r.metrics.Duration = end
-	r.metrics.BatteryAtEnd = env.state.Battery
-	for name, since := range r.modeSince {
-		r.accountMode(name, since, end, r.modeNow[name])
-	}
+	visits := 0
 	if cfg.Stack.AppNode != nil {
 		if st, ok := exec.LocalState(cfg.Stack.AppNode.Name()); ok {
-			if visits, ok := mission.VisitsOf(st); ok {
-				r.metrics.TargetsVisited = visits
+			if v, ok := mission.VisitsOf(st); ok {
+				visits = v
 			}
 		}
 	}
+	endEv := obs.RunEnd{T: end, TargetsVisited: visits, Battery: env.state.Battery}
+	if runErr != nil {
+		endEv.Err = runErr.Error()
+	}
+	r.emit(endEv)
+
 	res := &Result{
-		Metrics:    r.metrics,
+		Metrics:    sink.Metrics(),
 		Trajectory: r.traj,
 		Switches:   exec.Switches(),
 	}
-	return res, nil
+	return res, runErr
 }
 
-// runSlice advances the executor, tolerating (and counting) invariant
-// violations when configured to monitor rather than abort.
-func runSlice(exec *runtime.Executor, until time.Duration, r *runner, cfg RunConfig) error {
+// cancelled reports whether err is the context's cancellation surfacing.
+func cancelled(ctx context.Context, err error) bool {
+	return ctx.Err() != nil && errors.Is(err, ctx.Err())
+}
+
+// runSlice advances the executor, tolerating invariant violations when
+// configured to monitor rather than abort (the violations are counted by the
+// metrics sink from the executor's event stream).
+func runSlice(ctx context.Context, exec *runtime.Executor, until time.Duration, cfg RunConfig) error {
 	if !cfg.CheckInvariants {
-		return exec.RunUntil(until)
+		return exec.Run(ctx, until)
 	}
 	for {
-		err := exec.RunUntil(until)
+		err := exec.Run(ctx, until)
 		if err == nil {
 			return nil
 		}
 		var iv *runtime.InvariantViolationError
-		if asInvariantViolation(err, &iv) {
-			r.metrics.InvariantViolations++
+		if errors.As(err, &iv) {
 			continue
 		}
 		return err
 	}
-}
-
-func asInvariantViolation(err error, target **runtime.InvariantViolationError) bool {
-	return errors.As(err, target)
 }
 
 // visitsSoFar reads the surveillance app's visit counter mid-run.
@@ -411,36 +436,11 @@ func visitsSoFar(exec *runtime.Executor, st *mission.Stack) int {
 	return v
 }
 
-func (r *runner) onSwitch(sw runtime.Switch) {
-	stats := r.metrics.Modules[sw.Module]
-	if sw.To == rta.ModeSC {
-		stats.Disengagements++
-	} else {
-		stats.Reengagements++
-	}
-	r.metrics.Modules[sw.Module] = stats
-	r.accountMode(sw.Module, r.modeSince[sw.Module], sw.Time, sw.From)
-	r.modeSince[sw.Module] = sw.Time
-	r.modeNow[sw.Module] = sw.To
-}
-
-func (r *runner) accountMode(module string, from, to time.Duration, mode rta.Mode) {
-	if to <= from {
-		return
-	}
-	stats := r.metrics.Modules[module]
-	if mode == rta.ModeAC {
-		stats.ACTime += to - from
-	} else {
-		stats.SCTime += to - from
-	}
-	r.metrics.Modules[module] = stats
-}
-
 // dropFilter models best-effort scheduling as burst outages: with
 // probability JitterProb a firing starts an outage of 200-600 ms during
 // which every firing of that node is dropped. A burst hitting the SC right
-// after a disengagement reproduces the paper's crash mode.
+// after a disengagement reproduces the paper's crash mode. Dropped firings
+// surface as obs.NodeFired{Dropped: true} events from the executor.
 func (r *runner) dropFilter(ct time.Duration, name string) bool {
 	if r.cfg.JitterSCOnly {
 		if _, isDM := r.cfg.Stack.System.IsDM(name); !isDM {
@@ -450,13 +450,11 @@ func (r *runner) dropFilter(ct time.Duration, name string) bool {
 		}
 	}
 	if until, out := r.outageUntil[name]; out && ct < until {
-		r.metrics.DroppedFirings++
 		return true
 	}
 	if r.rng.Float64() < r.cfg.JitterProb {
 		dur := 200*time.Millisecond + time.Duration(r.rng.Int63n(int64(400*time.Millisecond)))
 		r.outageUntil[name] = ct + dur
-		r.metrics.DroppedFirings++
 		return true
 	}
 	return false
@@ -483,4 +481,20 @@ func (r *runner) sampleTrajectory() {
 		Vel:  r.env.state.Vel,
 		Mode: mode,
 	})
+}
+
+// sampleBattery emits periodic obs.BatterySample events at the trajectory
+// cadence — free when nobody subscribed to them (the metrics sink takes the
+// final charge from RunEnd instead).
+func (r *runner) sampleBattery() {
+	list := r.byKind[obs.KindBatterySample]
+	if len(list) == 0 {
+		return
+	}
+	now := r.exec.Now()
+	if now-r.batLast < r.trajEvery && r.batLast > 0 {
+		return
+	}
+	r.batLast = now
+	obs.Emit(list, obs.BatterySample{T: now, Charge: r.env.state.Battery})
 }

@@ -15,7 +15,11 @@
 // modules compose, and the composite system satisfies the conjunction of the
 // module invariants (Theorem 4.1).
 //
-// Construction mirrors the paper's surface syntax (Figures 4 and 7):
+// Construction mirrors the paper's surface syntax (Figures 4 and 7).
+// Execution is context-aware and observable: Run honours cancellation, and
+// any number of Observers can consume the run's typed event stream — mode
+// switches, node firings, invariant violations, time progress — through
+// WithObservers (one stream, many composable consumers):
 //
 //	mp, _ := soter.NewNode("MotionPrimitive", 10*time.Millisecond,
 //	    []soter.TopicName{"localPosition", "targetWaypoint"},
@@ -32,8 +36,19 @@
 //	    Safe:      phiSafeMPr,
 //	})
 //	sys, _ := soter.NewSystem([]*soter.Module{mod}, nil)
-//	exec, _ := soter.NewExecutor(sys, nil, soter.WithInvariantChecking())
-//	_ = exec.RunUntil(time.Minute)
+//
+//	rec := soter.NewRecorder(0) // bounded in-memory event tail
+//	exec, _ := soter.NewExecutor(sys, nil,
+//	    soter.WithInvariantChecking(),
+//	    soter.WithObservers(rec, soter.ObserverFunc(func(e soter.Event) {
+//	        if sw, ok := e.(soter.ModeSwitchEvent); ok {
+//	            log.Printf("t=%v %s: %v -> %v", sw.T, sw.Module, sw.From, sw.To)
+//	        }
+//	    })))
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+//	defer cancel()
+//	_ = exec.Run(ctx, time.Minute) // cancellation-aware; RunUntil(d) = Run(context.Background(), d)
 //
 // The internal packages supply everything the paper's evaluation needs: the
 // drone plant, reachability analyses standing in for FaSTrack / the
@@ -44,9 +59,11 @@
 package soter
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/node"
+	"repro/internal/obs"
 	"repro/internal/pubsub"
 	"repro/internal/rta"
 	"repro/internal/runtime"
@@ -98,6 +115,92 @@ type (
 	// InvariantViolationError reports a φInv monitor failure.
 	InvariantViolationError = runtime.InvariantViolationError
 )
+
+// Observability vocabulary: one typed event stream, many composable
+// consumers (see the internal/obs package).
+type (
+	// Event is the typed union of everything observable during a run.
+	Event = obs.Event
+	// EventKind identifies an event variant; KindSet is a mask of kinds an
+	// Observer may narrow its subscription to (see Interested).
+	EventKind = obs.Kind
+	// KindSet is a bitmask of event kinds.
+	KindSet = obs.KindSet
+	// Observer consumes a run's event stream.
+	Observer = obs.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = obs.ObserverFunc
+	// Interested lets an Observer narrow the kinds it receives.
+	Interested = obs.Interested
+	// Multi fans one event stream out to many observers.
+	Multi = obs.Multi
+	// Recorder is the bounded in-memory event sink.
+	Recorder = obs.Recorder
+	// JSONLWriter streams events as JSON Lines.
+	JSONLWriter = obs.JSONLWriter
+
+	// The concrete event types (aliased so public Observers can type-switch
+	// without importing internal packages).
+
+	// RunStartEvent opens a run's stream.
+	RunStartEvent = obs.RunStart
+	// RunEndEvent closes a run's stream with the final state.
+	RunEndEvent = obs.RunEnd
+	// NodeFiredEvent reports one discrete node firing (or a dropped one).
+	NodeFiredEvent = obs.NodeFired
+	// ModeSwitchEvent reports a DM mode change.
+	ModeSwitchEvent = obs.ModeSwitch
+	// InvariantViolationEvent reports a φInv monitor failure.
+	InvariantViolationEvent = obs.InvariantViolation
+	// TimeProgressEvent reports a discrete time progress.
+	TimeProgressEvent = obs.TimeProgress
+	// TrajectorySampleEvent is one physics sub-step of the trajectory.
+	TrajectorySampleEvent = obs.TrajectorySample
+	// BatterySampleEvent is a periodic battery reading.
+	BatterySampleEvent = obs.BatterySample
+	// CrashEvent reports the entry into a collision episode.
+	CrashEvent = obs.Crash
+	// LandedEvent reports an intentional touchdown.
+	LandedEvent = obs.Landed
+)
+
+// Event kinds, for KindSet subscriptions.
+const (
+	KindRunStart           = obs.KindRunStart
+	KindRunEnd             = obs.KindRunEnd
+	KindNodeFired          = obs.KindNodeFired
+	KindModeSwitch         = obs.KindModeSwitch
+	KindInvariantViolation = obs.KindInvariantViolation
+	KindTimeProgress       = obs.KindTimeProgress
+	KindTrajectorySample   = obs.KindTrajectorySample
+	KindBatterySample      = obs.KindBatterySample
+	KindCrash              = obs.KindCrash
+	KindLanded             = obs.KindLanded
+)
+
+// Kinds builds a KindSet from the listed kinds; AllKinds selects every kind.
+func Kinds(ks ...EventKind) KindSet { return obs.Kinds(ks...) }
+
+// AllKinds selects every event kind.
+const AllKinds = obs.AllKinds
+
+// NewRecorder builds a bounded in-memory event recorder (capacity ≤ 0 uses
+// the default bound).
+func NewRecorder(capacity int) *Recorder { return obs.NewRecorder(capacity) }
+
+// NewJSONLWriter builds an event sink streaming JSON Lines to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter { return obs.NewJSONLWriter(w) }
+
+// MarshalEvent encodes an event as one JSON object with a "kind"
+// discriminator; UnmarshalEvent decodes it back; ReadJSONL replays a whole
+// recorded stream.
+func MarshalEvent(e Event) ([]byte, error) { return obs.MarshalEvent(e) }
+
+// UnmarshalEvent decodes one MarshalEvent line into its concrete event.
+func UnmarshalEvent(line []byte) (Event, error) { return obs.UnmarshalEvent(line) }
+
+// ReadJSONL decodes a recorded JSONL stream back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }
 
 // Modes.
 const (
@@ -154,7 +257,14 @@ func WithEnvironment(env Environment) ExecutorOption { return runtime.WithEnviro
 // WithInvariantChecking makes the executor assert φInv at every DM step.
 func WithInvariantChecking() ExecutorOption { return runtime.WithInvariantChecking() }
 
-// WithSwitchHook registers a callback invoked on every DM mode change.
+// WithObservers attaches observers to the executor's event stream.
+func WithObservers(observers ...Observer) ExecutorOption {
+	return runtime.WithObservers(observers...)
+}
+
+// WithSwitchHook registers a callback invoked on every DM mode change. It is
+// a shim over WithObservers with an observer interested only in
+// ModeSwitchEvent.
 func WithSwitchHook(fn func(Switch)) ExecutorOption { return runtime.WithSwitchHook(fn) }
 
 // WithDropFilter installs a firing filter modelling best-effort scheduling.
