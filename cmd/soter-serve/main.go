@@ -1,0 +1,101 @@
+// Command soter-serve runs the simulation-as-a-service layer: a long-running
+// HTTP/JSON server accepting batch simulation jobs against the scenario
+// registry, running them on the parallel fleet engine, streaming live
+// progress as JSONL event streams and answering repeated grid cells from the
+// deterministic result cache.
+//
+// Usage:
+//
+//	soter-serve [flags]
+//
+// Quickstart:
+//
+//	soter-serve -addr :8080 &
+//	curl -s localhost:8080/scenarios | jq .
+//	id=$(curl -s -X POST localhost:8080/jobs \
+//	    -d '{"scenario":"surveillance-city","overrides":{"duration":"30s"},"seed_count":8}' | jq -r .id)
+//	curl -sN localhost:8080/jobs/$id/events      # live JSONL event stream
+//	curl -s localhost:8080/jobs/$id | jq .report # aggregated verdicts
+//	curl -s localhost:8080/stats | jq .cache     # hit/miss counters
+//
+// SIGINT/SIGTERM shut the server down gracefully: in-flight jobs are
+// cancelled (their partial reports are kept and event streams closed), then
+// the listener drains.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("soter-serve: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "fleet workers per job (0 = GOMAXPROCS)")
+		jobs     = flag.Int("jobs", 1, "jobs running concurrently")
+		queue    = flag.Int("queue", 64, "max queued jobs")
+		cacheCap = flag.Int("cache", service.DefaultCacheEntries, "result cache entries (LRU bound)")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		JobConcurrency: *jobs,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheCap,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d scenarios on %s", len(scenario.Names()), *addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		svc.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down: cancelling jobs, draining connections")
+	// Closing the service first ends every job (and with it every open event
+	// stream), so Shutdown is not held up by long-lived streaming responses.
+	svc.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	return <-errCh
+}

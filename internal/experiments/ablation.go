@@ -70,8 +70,7 @@ func ablationSpec(duration time.Duration) scenario.Spec {
 			Dir:        geom.V(1, 0.4, 0),
 			MaxWindows: 6,
 		},
-		Duration:           duration,
-		NoInvariantMonitor: true, // the sweep scores switching, not φInv counts
+		Duration: duration,
 	}
 }
 

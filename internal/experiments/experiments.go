@@ -2,8 +2,8 @@
 // in the paper's evaluation (Section V), shared by the bench_test.go harness
 // at the repository root and the cmd/soter-bench tool. Each experiment is a
 // pure function from a seeded configuration to a result value whose Format
-// method prints the rows/series the paper reports. EXPERIMENTS.md records
-// paper-vs-measured for each of them.
+// method prints the rows/series the paper reports; `go test -bench .
+// -benchtime 1x` regenerates all of them.
 package experiments
 
 import (

@@ -37,6 +37,20 @@ type Options struct {
 	// Workers bounds how many missions simulate concurrently. Zero or
 	// negative defaults to runtime.GOMAXPROCS(0).
 	Workers int
+	// Reuse, when non-nil, is consulted inside the worker before a mission is
+	// built: returning (res, true) serves the mission from that prior result
+	// — marked Cached, with the mission's own Name and Seed — without
+	// simulating. This is the serving layer's deterministic-cache hook: runs
+	// are reproducible per (scenario, seed), so a remembered result is
+	// indistinguishable from a fresh one. Reuse is called concurrently from
+	// every worker and must be safe for concurrent use.
+	Reuse func(i int, m Mission) (MissionResult, bool)
+	// OnResult, when non-nil, is invoked inside the worker right after each
+	// mission's verdict is known (simulated, reused or failed) — the
+	// progress/cache-fill hook of the serving layer. Calls arrive in
+	// completion order, concurrently from every worker; OnResult must be safe
+	// for concurrent use.
+	OnResult func(i int, m Mission, res MissionResult)
 }
 
 func (o Options) workers() int {
@@ -69,7 +83,10 @@ type MissionResult struct {
 	Switches []soterruntime.Switch
 	// Wall is the wall-clock time this mission took inside its worker.
 	Wall time.Duration
-	Err  error
+	// Cached marks a result served through Options.Reuse instead of a fresh
+	// simulation.
+	Cached bool
+	Err    error
 }
 
 // Disengagements counts the AC→SC switches of the run.
@@ -156,7 +173,10 @@ func Run(ctx context.Context, missions []Mission, opts Options) *Report {
 	// must agree, and TestRunCancelledBatchContract holds them to it.
 	results, _ := Map(ctx, opts.Workers, len(missions), func(ctx context.Context, i int) (MissionResult, error) {
 		ran[i] = true
-		res := runOne(ctx, missions[i])
+		res := runOne(ctx, i, missions[i], opts)
+		if opts.OnResult != nil {
+			opts.OnResult(i, missions[i], res)
+		}
 		return res, res.Err
 	})
 	// Missions the cancelled batch never started have no result; mark them
@@ -196,10 +216,17 @@ func Run(ctx context.Context, missions []Mission, opts Options) *Report {
 	return rep
 }
 
-func runOne(ctx context.Context, m Mission) MissionResult {
+func runOne(ctx context.Context, i int, m Mission, opts Options) MissionResult {
 	res := MissionResult{Name: m.Name, Seed: m.Seed}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
+	if opts.Reuse != nil {
+		if prior, ok := opts.Reuse(i, m); ok {
+			prior.Name, prior.Seed, prior.Cached = m.Name, m.Seed, true
+			prior.Wall = time.Since(start)
+			return prior
+		}
+	}
 	if m.Build == nil {
 		res.Err = fmt.Errorf("nil Build")
 		return res

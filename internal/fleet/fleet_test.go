@@ -302,3 +302,61 @@ func TestFleetEventStreamsDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestReuseAndOnResultHooks: missions served through Options.Reuse skip Build
+// entirely, come back marked Cached under their own name and seed, and both
+// fresh and reused verdicts flow through OnResult and into the aggregates.
+func TestReuseAndOnResultHooks(t *testing.T) {
+	missions := SeedSweep("hook", Seeds(1, 4), surveillanceMission)
+	var built atomic.Int32
+	for i := range missions {
+		build := missions[i].Build
+		missions[i].Build = func() (sim.RunConfig, error) {
+			built.Add(1)
+			return build()
+		}
+	}
+	canned := MissionResult{
+		Name:    "stale-name-must-be-overwritten",
+		Metrics: sim.Metrics{Duration: 5 * time.Second, DistanceFlown: 123},
+	}
+	var observed atomic.Int32
+	var cachedSeen atomic.Int32
+	rep := Run(context.Background(), missions, Options{
+		Workers: 2,
+		Reuse: func(i int, m Mission) (MissionResult, bool) {
+			return canned, i%2 == 0 // even missions come from the "cache"
+		},
+		OnResult: func(i int, m Mission, res MissionResult) {
+			observed.Add(1)
+			if res.Cached {
+				cachedSeen.Add(1)
+			}
+		},
+	})
+	if err := rep.FirstErr(); err != nil {
+		t.Fatal(err)
+	}
+	if got := built.Load(); got != 2 {
+		t.Errorf("built %d stacks, want 2 (odd missions only)", got)
+	}
+	if got := observed.Load(); got != 4 {
+		t.Errorf("OnResult saw %d results, want 4", got)
+	}
+	if got := cachedSeen.Load(); got != 2 {
+		t.Errorf("OnResult saw %d cached results, want 2", got)
+	}
+	for i, res := range rep.Results {
+		if wantCached := i%2 == 0; res.Cached != wantCached {
+			t.Errorf("mission %d: Cached = %v, want %v", i, res.Cached, wantCached)
+		}
+		if res.Name != missions[i].Name || res.Seed != missions[i].Seed {
+			t.Errorf("mission %d: result identity %q/%d diverges from mission %q/%d",
+				i, res.Name, res.Seed, missions[i].Name, missions[i].Seed)
+		}
+	}
+	// The canned metrics participate in aggregation like fresh ones.
+	if rep.SimTime != 4*5*time.Second {
+		t.Errorf("aggregate sim time = %v, want 20s", rep.SimTime)
+	}
+}

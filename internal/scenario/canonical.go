@@ -1,0 +1,158 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/mission"
+	"repro/internal/plan"
+)
+
+// canonicalSpec is the serialization schema of Canonical: every field of a
+// Spec that influences the compiled mission, in a fixed order, with the
+// workspace factory resolved to its concrete geometry and every defaulted
+// field resolved to its effective value. Name and Description are excluded
+// deliberately — two Specs that differ only in labelling denote the same
+// mission, and the result cache should treat them as one.
+type canonicalSpec struct {
+	WorkspaceBounds    geom.AABB              `json:"workspace_bounds"`
+	WorkspaceObstacles []geom.AABB            `json:"workspace_obstacles"`
+	Targets            []geom.Vec3            `json:"targets,omitempty"`
+	RandomTargets      bool                   `json:"random_targets,omitempty"`
+	Start              geom.Vec3              `json:"start"`
+	InitialBattery     float64                `json:"initial_battery"`
+	DrainMultiple      float64                `json:"drain_multiple"`
+	Protection         mission.ProtectionMode `json:"protection"`
+	AC                 mission.ACKind         `json:"ac"`
+	LearnedBadFraction float64                `json:"learned_bad_fraction"`
+	NoPlannerModule    bool                   `json:"no_planner_module,omitempty"`
+	NoBatteryModule    bool                   `json:"no_battery_module,omitempty"`
+	OneWaySwitching    bool                   `json:"one_way_switching,omitempty"`
+	MotionDeltaNS      time.Duration          `json:"motion_delta_ns"`
+	Hysteresis         float64                `json:"hysteresis"`
+	PlanMargin         float64                `json:"plan_margin"`
+	Faults             FaultProfile           `json:"faults"`
+	PlannerBug         plan.Bug               `json:"planner_bug"`
+	PlannerBugRate     float64                `json:"planner_bug_rate"`
+	JitterProb         float64                `json:"jitter_prob"`
+	JitterSCOnly       bool                   `json:"jitter_sc_only,omitempty"`
+	DurationNS         time.Duration          `json:"duration_ns"`
+	InvariantMonitor   bool                   `json:"invariant_monitor,omitempty"`
+}
+
+// Canonical returns a deterministic serialization of the mission the Spec
+// denotes: the same workload always yields byte-identical output, regardless
+// of how the Spec was assembled (registry lookup, overrides, hand-written
+// literal). It validates first, resolves the workspace factory and the
+// defaulted start position, and serializes the remaining declarative fields
+// in a fixed schema — which makes it a sound cache key for anything derived
+// deterministically from (Spec, seed), the property the serving layer's
+// result cache is built on.
+func (s Spec) Canonical() ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	ws := s.workspace()
+	// Every "zero means default" knob is resolved to the effective value the
+	// Build path would use (Spec.StackConfig, mission.DefaultStackConfig and
+	// mission.Build's clamping), so a Spec spelling a default explicitly
+	// fingerprints identically to one leaving it unset —
+	// TestCanonicalResolvesDefaults holds the two paths together.
+	c := canonicalSpec{
+		WorkspaceBounds:    ws.Bounds(),
+		WorkspaceObstacles: ws.Obstacles(),
+		Targets:            s.Targets,
+		RandomTargets:      s.RandomTargets,
+		Start:              s.start(),
+		InitialBattery:     defaultIfZero(s.InitialBattery, 1),
+		DrainMultiple:      defaultIfZero(s.DrainMultiple, 1),
+		Protection:         s.Protection,
+		AC:                 s.AC,
+		LearnedBadFraction: defaultIfZero(s.LearnedBadFraction, 0.12),
+		NoPlannerModule:    s.NoPlannerModule,
+		NoBatteryModule:    s.NoBatteryModule,
+		OneWaySwitching:    s.OneWaySwitching,
+		MotionDeltaNS:      s.MotionDelta,
+		Hysteresis:         s.Hysteresis,
+		PlanMargin:         s.PlanMargin,
+		Faults:             s.Faults,
+		PlannerBug:         s.PlannerBug,
+		PlannerBugRate:     s.PlannerBugRate,
+		JitterProb:         s.JitterProb,
+		JitterSCOnly:       s.JitterSCOnly,
+		DurationNS:         s.Duration,
+		InvariantMonitor:   s.InvariantMonitor,
+	}
+	if c.Protection == 0 {
+		c.Protection = mission.ProtectRTA
+	}
+	if c.AC == 0 {
+		c.AC = mission.ACAggressive
+	}
+	if c.MotionDeltaNS <= 0 {
+		c.MotionDeltaNS = 100 * time.Millisecond
+	}
+	if c.Hysteresis < 1 {
+		c.Hysteresis = 2.0 // mission.Build clamps sub-1 values to the default
+	}
+	if c.PlanMargin <= 0 {
+		c.PlanMargin = 0.45 + 0.8 // default margin + planner slack
+	}
+	out, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: canonicalize: %w", s.Name, err)
+	}
+	return out, nil
+}
+
+// defaultIfZero resolves a "zero means default" float knob.
+func defaultIfZero(v, def float64) float64 {
+	if v == 0 {
+		return def
+	}
+	return v
+}
+
+// Fingerprint hashes the canonical form of (Spec, seed) into a short stable
+// hex string. Runs are fully deterministic per (Spec, seed) — the property
+// the paper's repeatable experiments rely on — so the fingerprint identifies
+// a mission's results: equal fingerprints mean byte-identical metrics, which
+// is what lets the serving layer answer repeated grid cells from cache
+// instead of re-simulating them.
+func (s Spec) Fingerprint(seed int64) (string, error) {
+	canon, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	return fingerprintOf(canon, seed), nil
+}
+
+// Fingerprints is the seed-sweep form of Fingerprint: one canonicalization,
+// one hash per seed — what a serving-layer job with thousands of grid cells
+// calls instead of re-canonicalizing the identical spec per cell.
+func (s Spec) Fingerprints(seeds []int64) ([]string, error) {
+	canon, err := s.Canonical()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(seeds))
+	for i, seed := range seeds {
+		out[i] = fingerprintOf(canon, seed)
+	}
+	return out, nil
+}
+
+// fingerprintOf hashes canonical spec bytes together with the seed.
+func fingerprintOf(canon []byte, seed int64) string {
+	h := sha256.New()
+	h.Write(canon)
+	var sb [8]byte
+	binary.BigEndian.PutUint64(sb[:], uint64(seed))
+	h.Write(sb[:])
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

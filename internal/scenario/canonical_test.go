@@ -1,0 +1,102 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/mission"
+)
+
+// TestCanonicalDeterministic: the canonical form is byte-identical across
+// calls and across label-only differences, and every registered scenario has
+// one (the registry stays cacheable end to end).
+func TestCanonicalDeterministic(t *testing.T) {
+	for _, s := range All() {
+		a, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		b, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: canonical form not deterministic", s.Name)
+		}
+		renamed := s
+		renamed.Name, renamed.Description = "other-label", "other description"
+		c, err := renamed.Canonical()
+		if err != nil {
+			t.Fatalf("%s renamed: %v", s.Name, err)
+		}
+		if !bytes.Equal(a, c) {
+			t.Errorf("%s: canonical form depends on the label", s.Name)
+		}
+	}
+}
+
+// TestCanonicalResolvesDefaults: a Spec that spells a default explicitly
+// denotes the same mission as one leaving the knob unset, so the two must
+// fingerprint identically — otherwise equivalent jobs would miss the result
+// cache.
+func TestCanonicalResolvesDefaults(t *testing.T) {
+	base := MustGet("surveillance-city")
+	want, err := base.Fingerprint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, explicit := range map[string]func(*Spec){
+		"initial-battery": func(s *Spec) { s.InitialBattery = 1 },
+		"drain-multiple":  func(s *Spec) { s.DrainMultiple = 1 },
+		"protection":      func(s *Spec) { s.Protection = mission.ProtectRTA },
+		"ac":              func(s *Spec) { s.AC = mission.ACAggressive },
+		"learned-bad":     func(s *Spec) { s.LearnedBadFraction = 0.12 },
+		"motion-delta":    func(s *Spec) { s.MotionDelta = 100 * time.Millisecond },
+		"hysteresis":      func(s *Spec) { s.Hysteresis = 2.0 },
+		"plan-margin":     func(s *Spec) { s.PlanMargin = 1.25 },
+	} {
+		got, err := base.With(Override{Apply: explicit}).Fingerprint(1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got != want {
+			t.Errorf("explicit default %s changed the fingerprint", name)
+		}
+	}
+}
+
+// TestFingerprintSensitivity: the fingerprint separates what must be
+// separated (different scenarios, seeds, overridden knobs) and identifies
+// what must be identified (the same (Spec, seed) pair).
+func TestFingerprintSensitivity(t *testing.T) {
+	base := MustGet("surveillance-city")
+	fp := func(s Spec, seed int64) string {
+		t.Helper()
+		h, err := s.Fingerprint(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	same, again := fp(base, 1), fp(base, 1)
+	if same != again {
+		t.Fatalf("fingerprint not stable: %s vs %s", same, again)
+	}
+	seen := map[string]string{"base/seed-1": same}
+	distinct := map[string]string{
+		"seed-2":    fp(base, 2),
+		"duration":  fp(base.With(Override{Apply: func(s *Spec) { s.Duration = 42 * time.Second }}), 1),
+		"jitter":    fp(base.With(Override{Apply: func(s *Spec) { s.JitterProb = 0.01 }}), 1),
+		"invariant": fp(base.With(Override{Apply: func(s *Spec) { s.InvariantMonitor = true }}), 1),
+		"canyon":    fp(MustGet("canyon-corridor"), 1),
+	}
+	for name, h := range distinct {
+		for prev, ph := range seen {
+			if h == ph {
+				t.Errorf("fingerprint collision: %s == %s (%s)", name, prev, h)
+			}
+		}
+		seen[name] = h
+	}
+}

@@ -67,8 +67,7 @@ func init() {
 			Dir:        geom.V(1, 0.5, 0),
 			MaxWindows: 1,
 		},
-		Duration:           5 * time.Minute,
-		NoInvariantMonitor: true, // long segments; the endurance study scores crashes, not φInv counts
+		Duration: 5 * time.Minute,
 	})
 
 	MustRegister(Spec{
@@ -123,8 +122,5 @@ func init() {
 		NoBatteryModule: true,
 		PlanMargin:      0.5,
 		Duration:        10 * time.Minute,
-		// The timing comparison scores tour time and collisions; skip the
-		// monitor like the original experiment plumbing did.
-		NoInvariantMonitor: true,
 	})
 }

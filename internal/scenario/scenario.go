@@ -145,9 +145,12 @@ type Spec struct {
 
 	// Duration is the default mission length; must be positive.
 	Duration time.Duration
-	// NoInvariantMonitor disables the runtime φInv monitor (it only counts
-	// violations, so this is a cost knob, not a behaviour knob).
-	NoInvariantMonitor bool
+	// InvariantMonitor enables the runtime φInv monitor
+	// (sim.RunConfig.CheckInvariants): violations are asserted at every DM
+	// sampling instant and counted in the metrics. Off by default — the
+	// monitor evaluates the module predicates on every DM step, so it is a
+	// cost knob workloads opt into.
+	InvariantMonitor bool
 }
 
 // defaultStart is the city workspace take-off pad used whenever a Spec does
@@ -279,7 +282,7 @@ func (s Spec) Build(seed int64) (sim.RunConfig, error) {
 		Seed:            seed,
 		JitterProb:      s.JitterProb,
 		JitterSCOnly:    s.JitterSCOnly,
-		CheckInvariants: !s.NoInvariantMonitor,
+		CheckInvariants: s.InvariantMonitor,
 	}, nil
 }
 

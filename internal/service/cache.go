@@ -1,0 +1,111 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultCacheEntries bounds a Cache built with a non-positive capacity.
+const DefaultCacheEntries = 4096
+
+// CacheStats is a snapshot of the cache's counters, exposed on /stats.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Cache is the deterministic result cache of the serving layer: an
+// LRU-bounded map from canonical mission fingerprints
+// (scenario.Spec.Fingerprint over the overridden spec and seed) to the
+// canonical serialized bytes of the mission's verdict. Because a mission is
+// fully deterministic per (spec, seed), the bytes stored under a key are the
+// bytes any fresh run of that key would produce, so serving from the cache is
+// observationally identical to re-simulating — just orders of magnitude
+// faster. Values are stored and returned as opaque bytes; callers must not
+// mutate a returned slice. Safe for concurrent use.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	order     *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+// cacheEntry is the list payload: the key rides along so eviction can delete
+// the map entry without a reverse lookup.
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache builds a cache bounded at capacity entries (DefaultCacheEntries
+// when capacity is not positive).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheEntries
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the bytes stored under key and marks the entry most recently
+// used. Every call counts as a hit or a miss.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry when the
+// bound is exceeded. Storing an existing key refreshes its value and recency.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// Len returns the number of entries currently cached.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   c.order.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

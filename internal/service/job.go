@@ -1,0 +1,268 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/mission"
+	"repro/internal/plan"
+	soterruntime "repro/internal/runtime"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states. A job moves queued → running → one of the terminal
+// states; cancellation is honoured both while queued and mid-run.
+const (
+	StatusQueued    Status = "queued"
+	StatusRunning   Status = "running"
+	StatusDone      Status = "done"
+	StatusFailed    Status = "failed"
+	StatusCancelled Status = "cancelled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCancelled
+}
+
+// Duration is a time.Duration that marshals as a Go duration string ("1m30s")
+// and unmarshals from either that form or integer nanoseconds — the
+// human-friendly wire form of the job API.
+type Duration time.Duration
+
+// MarshalJSON implements json.Marshaler.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var raw any
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	switch v := raw.(type) {
+	case string:
+		parsed, err := time.ParseDuration(v)
+		if err != nil {
+			return fmt.Errorf("duration %q: %w", v, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	case float64:
+		*d = Duration(time.Duration(v))
+		return nil
+	default:
+		return fmt.Errorf("duration must be a string like \"30s\" or integer nanoseconds, got %T", raw)
+	}
+}
+
+// Overrides is the declarative override set a job may apply on top of its
+// base scenario — the JSON-friendly mirror of the knobs scenario.Override
+// closures tweak. Pointer fields distinguish "not overridden" from an
+// explicit zero. The overridden spec (not the override set) is what gets
+// canonically hashed, so two jobs reaching the same effective spec share
+// cache entries regardless of how they spelled it.
+type Overrides struct {
+	// Duration replaces the mission length.
+	Duration Duration `json:"duration,omitempty"`
+	// Protection selects the motion layer: "rta", "ac-only" or "sc-only".
+	Protection string `json:"protection,omitempty"`
+	// AC selects the untrusted motion primitive: "aggressive" or "learned".
+	AC string `json:"ac,omitempty"`
+	// PlannerBug injects an RRT* defect: "none", "skip-edge-check",
+	// "unchecked-shortcut" or "stale-obstacles"; PlannerBugRate sets its
+	// trigger probability.
+	PlannerBug     string   `json:"planner_bug,omitempty"`
+	PlannerBugRate *float64 `json:"planner_bug_rate,omitempty"`
+	// JitterProb enables best-effort-scheduling outages; JitterSCOnly
+	// restricts them to SC/DM nodes.
+	JitterProb   *float64 `json:"jitter_prob,omitempty"`
+	JitterSCOnly *bool    `json:"jitter_sc_only,omitempty"`
+	// InitialBattery and DrainMultiple override the battery model.
+	InitialBattery *float64 `json:"initial_battery,omitempty"`
+	DrainMultiple  *float64 `json:"drain_multiple,omitempty"`
+	// Hysteresis overrides the φsafer horizon multiplier.
+	Hysteresis *float64 `json:"hysteresis,omitempty"`
+	// MotionDelta overrides the motion-primitive DM period Δ.
+	MotionDelta Duration `json:"motion_delta,omitempty"`
+	// InvariantMonitor toggles the runtime φInv monitor.
+	InvariantMonitor *bool `json:"invariant_monitor,omitempty"`
+}
+
+// apply returns the spec with the overrides folded in.
+func (o Overrides) apply(s scenario.Spec) (scenario.Spec, error) {
+	if o.Duration != 0 {
+		s.Duration = time.Duration(o.Duration)
+	}
+	switch o.Protection {
+	case "":
+	case "rta":
+		s.Protection = mission.ProtectRTA
+	case "ac-only":
+		s.Protection = mission.ProtectACOnly
+	case "sc-only":
+		s.Protection = mission.ProtectSCOnly
+	default:
+		return s, fmt.Errorf("unknown protection %q (want rta | ac-only | sc-only)", o.Protection)
+	}
+	switch o.AC {
+	case "":
+	case "aggressive":
+		s.AC = mission.ACAggressive
+	case "learned":
+		s.AC = mission.ACLearned
+	default:
+		return s, fmt.Errorf("unknown ac %q (want aggressive | learned)", o.AC)
+	}
+	switch o.PlannerBug {
+	case "":
+	case "none":
+		s.PlannerBug, s.PlannerBugRate = plan.BugNone, 0
+	case "skip-edge-check":
+		s.PlannerBug = plan.BugSkipEdgeCheck
+	case "unchecked-shortcut":
+		s.PlannerBug = plan.BugUncheckedShortcut
+	case "stale-obstacles":
+		s.PlannerBug = plan.BugStaleObstacles
+	default:
+		return s, fmt.Errorf("unknown planner_bug %q", o.PlannerBug)
+	}
+	if o.PlannerBugRate != nil {
+		s.PlannerBugRate = *o.PlannerBugRate
+	}
+	if o.JitterProb != nil {
+		s.JitterProb = *o.JitterProb
+	}
+	if o.JitterSCOnly != nil {
+		s.JitterSCOnly = *o.JitterSCOnly
+	}
+	if o.InitialBattery != nil {
+		s.InitialBattery = *o.InitialBattery
+	}
+	if o.DrainMultiple != nil {
+		s.DrainMultiple = *o.DrainMultiple
+	}
+	if o.Hysteresis != nil {
+		s.Hysteresis = *o.Hysteresis
+	}
+	if o.MotionDelta != 0 {
+		s.MotionDelta = time.Duration(o.MotionDelta)
+	}
+	if o.InvariantMonitor != nil {
+		s.InvariantMonitor = *o.InvariantMonitor
+	}
+	return s, nil
+}
+
+// JobSpec is a batch simulation request: a named scenario from the registry,
+// optional declarative overrides, and the seeds to sweep (either an explicit
+// list or a contiguous [seed_start, seed_start+seed_count) range). Every
+// (overridden spec, seed) pair becomes one independent grid cell.
+type JobSpec struct {
+	// Scenario names the base spec in the scenario registry.
+	Scenario string `json:"scenario"`
+	// Overrides is applied on top of the base spec.
+	Overrides Overrides `json:"overrides,omitzero"`
+	// Seeds lists the sweep's seeds explicitly; mutually exclusive with the
+	// range form below. Empty with SeedCount 0 defaults to {1}.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// SeedStart / SeedCount describe a contiguous seed range.
+	SeedStart int64 `json:"seed_start,omitempty"`
+	SeedCount int   `json:"seed_count,omitempty"`
+	// Workers bounds the job's fleet worker pool (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+}
+
+// seeds resolves the seed sweep.
+func (js JobSpec) seeds() ([]int64, error) {
+	if len(js.Seeds) > 0 && (js.SeedCount > 0 || js.SeedStart != 0) {
+		return nil, fmt.Errorf("seeds and seed_start/seed_count are mutually exclusive")
+	}
+	if js.SeedCount < 0 {
+		return nil, fmt.Errorf("seed_count %d must be non-negative", js.SeedCount)
+	}
+	if js.SeedStart != 0 && js.SeedCount == 0 {
+		// Silently running the default seed would hand back results for a
+		// sweep the client never asked for.
+		return nil, fmt.Errorf("seed_start without seed_count")
+	}
+	if len(js.Seeds) > 0 {
+		return js.Seeds, nil
+	}
+	if js.SeedCount > 0 {
+		out := make([]int64, js.SeedCount)
+		for i := range out {
+			out[i] = js.SeedStart + int64(i)
+		}
+		return out, nil
+	}
+	return []int64{1}, nil
+}
+
+// resolve validates the request against the scenario registry and compiles it
+// into the effective spec, the seed sweep and the per-cell cache keys.
+func (js JobSpec) resolve() (scenario.Spec, []int64, []string, error) {
+	if js.Scenario == "" {
+		return scenario.Spec{}, nil, nil, fmt.Errorf("missing scenario name")
+	}
+	base, ok := scenario.Get(js.Scenario)
+	if !ok {
+		return scenario.Spec{}, nil, nil, fmt.Errorf("unknown scenario %q (have: %s)",
+			js.Scenario, strings.Join(scenario.Names(), ", "))
+	}
+	spec, err := js.Overrides.apply(base)
+	if err != nil {
+		return scenario.Spec{}, nil, nil, fmt.Errorf("scenario %q: %w", js.Scenario, err)
+	}
+	if err := spec.Validate(); err != nil {
+		return scenario.Spec{}, nil, nil, err
+	}
+	seeds, err := js.seeds()
+	if err != nil {
+		return scenario.Spec{}, nil, nil, err
+	}
+	keys, err := spec.Fingerprints(seeds)
+	if err != nil {
+		return scenario.Spec{}, nil, nil, err
+	}
+	return spec, seeds, keys, nil
+}
+
+// cellResult is the canonical cached form of one mission's verdict. The
+// fields are exactly the deterministic parts of fleet.MissionResult — name,
+// wall time and cache markers are identity the server re-attaches on reuse.
+type cellResult struct {
+	Metrics  sim.Metrics           `json:"metrics"`
+	Switches []soterruntime.Switch `json:"switches,omitempty"`
+}
+
+// Job is one submitted batch with its live state. All mutable fields are
+// guarded by mu; the event fan-out has its own synchronization.
+type Job struct {
+	id       string
+	spec     JobSpec
+	resolved scenario.Spec // base spec with the overrides folded in
+	seeds    []int64
+	keys     []string // per-seed cache keys, aligned with seeds
+	fan      *fanout
+	created  time.Time
+
+	mu          sync.Mutex
+	status      Status
+	started     time.Time
+	finished    time.Time
+	cancel      func()
+	report      *fleet.Report
+	err         error
+	cellsDone   int
+	cellsCached int
+}

@@ -1,0 +1,487 @@
+// Package service is the simulation-as-a-service layer: a long-running
+// server that accepts batch simulation jobs over HTTP/JSON, schedules them on
+// a bounded job queue over the fleet engine, streams live progress as obs
+// JSONL events, and answers repeated work from a deterministic result cache.
+//
+// The layering below it is unchanged — a job is just a named scenario from
+// the registry (internal/scenario) plus declarative overrides and a seed
+// sweep, expanded into fleet missions exactly like a CLI sweep would. What
+// the service adds is the two things a one-shot CLI cannot:
+//
+//   - Persistence of work already done. Runs are fully deterministic per
+//     (spec, seed) — the property the paper's repeatable RTA experiments rely
+//     on — so every grid cell's verdict is cached under a canonical
+//     fingerprint of its overridden spec and seed
+//     (scenario.Spec.Fingerprint). A repeated cell is served from memory
+//     through the fleet engine's Reuse hook, byte-identical to a fresh run
+//     and orders of magnitude faster; /stats exposes the hit/miss counters.
+//
+//   - A live view of work in flight. Each job's missions fan their event
+//     streams (run boundaries, mode switches, invariant violations, crashes,
+//     landings) out to any number of HTTP subscribers as JSON Lines — the
+//     same wire format as soter-sim -trace — with a bounded replay ring so
+//     late subscribers still see the whole stream.
+//
+// Server is transport-agnostic (Submit/Job/Cancel/Stats are plain methods);
+// Handler adapts it to HTTP. cmd/soter-serve is the binary.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	goruntime "runtime"
+	"sync"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// ErrBusy marks capacity rejections (job queue full, job table full): the
+// request was well-formed and may succeed later. The HTTP layer maps it to
+// 503 so clients retry instead of discarding the request as malformed.
+var ErrBusy = errors.New("server busy")
+
+// ErrClosed rejects submissions to a server that is shutting down.
+var ErrClosed = errors.New("server closed")
+
+// Config sizes the server.
+type Config struct {
+	// Workers is the default fleet worker bound per job (0 = GOMAXPROCS);
+	// a JobSpec may lower it for itself.
+	Workers int
+	// JobConcurrency is how many jobs run at once (default 1: jobs queue
+	// behind each other, missions parallelize inside each job).
+	JobConcurrency int
+	// QueueDepth bounds the number of queued-but-not-started jobs (default
+	// 64); submissions beyond it are rejected rather than buffered without
+	// bound.
+	QueueDepth int
+	// CacheEntries bounds the result cache (default DefaultCacheEntries).
+	CacheEntries int
+	// MaxJobs bounds how many jobs are retained (default 1024). When a
+	// submission would exceed it, the oldest jobs in a terminal state are
+	// evicted (their reports and event rings released); active jobs are
+	// never evicted, and a submission that cannot fit under the bound is
+	// rejected.
+	MaxJobs int
+	// EventRing is the per-job replay ring capacity (default 8192 events).
+	EventRing int
+	// EventBuffer is the per-subscriber channel buffer (default 256).
+	EventBuffer int
+}
+
+func (c Config) jobConcurrency() int {
+	if c.JobConcurrency > 0 {
+		return c.JobConcurrency
+	}
+	return 1
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 64
+}
+
+func (c Config) maxJobs() int {
+	if c.MaxJobs > 0 {
+		return c.MaxJobs
+	}
+	return 1024
+}
+
+// Stats is the /stats payload: cache counters plus job lifecycle counts.
+type Stats struct {
+	Cache CacheStats `json:"cache"`
+	Jobs  JobCounts  `json:"jobs"`
+}
+
+// JobCounts tallies jobs by lifecycle state.
+type JobCounts struct {
+	Total     int `json:"total"`
+	Queued    int `json:"queued"`
+	Running   int `json:"running"`
+	Done      int `json:"done"`
+	Failed    int `json:"failed"`
+	Cancelled int `json:"cancelled"`
+}
+
+// Server owns the job queue, the runner pool and the result cache.
+type Server struct {
+	cfg   Config
+	cache *Cache
+
+	ctx       context.Context
+	stop      context.CancelFunc
+	queue     chan *Job
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	mu     sync.Mutex
+	closed bool // set under mu before the runners stop; gates Submit
+	jobs   map[string]*Job
+	order  []string // submission order, for listing
+	seq    int
+}
+
+// New builds a server and starts its job runners. Close releases them.
+func New(cfg Config) *Server {
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheEntries),
+		ctx:   ctx,
+		stop:  stop,
+		queue: make(chan *Job, cfg.queueDepth()),
+		jobs:  make(map[string]*Job),
+	}
+	for i := 0; i < cfg.jobConcurrency(); i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// Close cancels every queued and running job and waits for the runners to
+// drain. The server rejects submissions afterwards.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		// The flag is flipped under mu before the runners stop, and Submit
+		// enqueues under the same lock — so after this point no new job can
+		// reach the queue, and the final drain below leaves nothing behind.
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		s.stop()
+		s.wg.Wait()
+		// Jobs that were queued when the runners exited would otherwise stay
+		// StatusQueued forever (and their event streams open).
+		for {
+			select {
+			case job := <-s.queue:
+				job.requestCancel()
+				job.finish(nil, context.Canceled)
+			default:
+				return
+			}
+		}
+	})
+}
+
+// Cache exposes the result cache (benchmarks and tests seed or inspect it).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Submit validates the request against the scenario registry and enqueues it.
+// It returns the queued job, or an error when the spec does not resolve, the
+// queue is full, the retention bound cannot admit another job, or the server
+// is closed.
+func (s *Server) Submit(spec JobSpec) (*Job, error) {
+	resolved, seeds, keys, err := spec.resolve()
+	if err != nil {
+		return nil, err
+	}
+	// Registration, retention eviction and the (non-blocking) enqueue happen
+	// under one lock, so a full queue never unregisters a neighbour's job and
+	// Close — which flips s.closed under the same lock before stopping the
+	// runners — can never strand a job in the queue.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.evictTerminalLocked(s.cfg.maxJobs() - 1)
+	if len(s.jobs) >= s.cfg.maxJobs() {
+		return nil, fmt.Errorf("job table full (%d active jobs): %w", len(s.jobs), ErrBusy)
+	}
+	s.seq++
+	job := &Job{
+		id:       fmt.Sprintf("job-%06d", s.seq),
+		spec:     spec,
+		resolved: resolved,
+		seeds:    seeds,
+		keys:     keys,
+		fan:      newFanout(s.cfg.EventRing),
+		created:  time.Now(),
+		status:   StatusQueued,
+	}
+	select {
+	case s.queue <- job:
+	default:
+		return nil, fmt.Errorf("job queue full (%d queued): %w", cap(s.queue), ErrBusy)
+	}
+	s.jobs[job.id] = job
+	s.order = append(s.order, job.id)
+	return job, nil
+}
+
+// evictTerminalLocked drops the oldest terminal jobs until at most keep
+// remain in the table. Active (queued/running) jobs are never evicted.
+// Callers hold s.mu.
+func (s *Server) evictTerminalLocked(keep int) {
+	if keep < 0 || len(s.jobs) <= keep {
+		return
+	}
+	kept := s.order[:0]
+	for i, id := range s.order {
+		if len(s.jobs) <= keep {
+			kept = append(kept, s.order[i:]...)
+			break
+		}
+		if s.jobs[id].Status().Terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// Job returns the job by id.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in submission order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Cancel cancels the job: a queued job is marked cancelled before it starts,
+// a running job has its context cancelled (partial results are kept). It
+// reports whether the job exists.
+func (s *Server) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	j.requestCancel()
+	return true
+}
+
+// Stats snapshots the cache counters and job tallies.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	jobs := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	st := Stats{Cache: s.cache.Stats()}
+	for _, j := range jobs {
+		st.Jobs.Total++
+		switch j.Status() {
+		case StatusQueued:
+			st.Jobs.Queued++
+		case StatusRunning:
+			st.Jobs.Running++
+		case StatusDone:
+			st.Jobs.Done++
+		case StatusFailed:
+			st.Jobs.Failed++
+		case StatusCancelled:
+			st.Jobs.Cancelled++
+		}
+	}
+	return st
+}
+
+// runner drains the job queue until the server closes.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			// Drain: jobs still queued at shutdown are marked cancelled so
+			// clients polling them see a terminal state.
+			for {
+				select {
+				case job := <-s.queue:
+					job.requestCancel()
+					job.finish(nil, context.Canceled)
+				default:
+					return
+				}
+			}
+		case job := <-s.queue:
+			s.runJob(job)
+		}
+	}
+}
+
+// runJob executes one job over the fleet engine with the cache wired into the
+// per-mission reuse hook.
+func (s *Server) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	if !job.begin(cancel) {
+		// Cancelled while queued.
+		job.finish(nil, context.Canceled)
+		return
+	}
+	missions := job.missions()
+	// A job may lower the worker bound for itself but never raise it above
+	// the server's — worker counts are a server capacity decision, not a
+	// client-controlled one.
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if job.spec.Workers > 0 && job.spec.Workers < workers {
+		workers = job.spec.Workers
+	}
+	rep := fleet.Run(ctx, missions, fleet.Options{
+		Workers: workers,
+		Reuse: func(i int, m fleet.Mission) (fleet.MissionResult, bool) {
+			raw, ok := s.cache.Get(job.keys[i])
+			if !ok {
+				return fleet.MissionResult{}, false
+			}
+			var cell cellResult
+			if err := json.Unmarshal(raw, &cell); err != nil {
+				// A corrupt entry must not poison the job; fall back to
+				// simulating the cell.
+				return fleet.MissionResult{}, false
+			}
+			return fleet.MissionResult{Metrics: cell.Metrics, Switches: cell.Switches}, true
+		},
+		OnResult: func(i int, m fleet.Mission, res fleet.MissionResult) {
+			if res.Err == nil && !res.Cached {
+				if raw, err := json.Marshal(cellResult{Metrics: res.Metrics, Switches: res.Switches}); err == nil {
+					s.cache.Put(job.keys[i], raw)
+				}
+			}
+			job.progress(res.Cached)
+		},
+	})
+	job.finish(rep, ctx.Err())
+}
+
+// missions expands the job into fleet missions, with the job's event fan-out
+// attached to every mission's observer list.
+func (j *Job) missions() []fleet.Mission {
+	missions := make([]fleet.Mission, len(j.seeds))
+	for i, seed := range j.seeds {
+		seed := seed
+		missions[i] = fleet.Mission{
+			Name: fmt.Sprintf("%s/seed-%d", j.resolved.Name, seed),
+			Seed: seed,
+			Build: func() (sim.RunConfig, error) {
+				cfg, err := j.resolved.Build(seed)
+				if err != nil {
+					return cfg, err
+				}
+				cfg.Observers = append(cfg.Observers, j.fan)
+				return cfg, nil
+			},
+		}
+	}
+	return missions
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status returns the job's lifecycle state.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.status
+}
+
+// Report returns the aggregated fleet report, or nil while the job has not
+// reached a terminal state.
+func (j *Job) Report() *fleet.Report {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
+}
+
+// Err returns the job-terminating error, if any.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Subscribe attaches an event consumer to the job's stream (see
+// fanout.Subscribe). The mask is intersected with StreamKinds — kinds outside
+// it are never captured in the first place.
+func (j *Job) Subscribe(mask obs.KindSet, buffer int) ([]obs.Event, <-chan obs.Event, func()) {
+	return j.fan.Subscribe(mask&StreamKinds, buffer)
+}
+
+// begin transitions queued → running; it reports false when the job was
+// cancelled while queued.
+func (j *Job) begin(cancel func()) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// requestCancel marks a queued job cancelled, or cancels a running job's
+// context. Terminal jobs are left untouched.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCancelled
+	case StatusRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+}
+
+// progress bumps the completed-cell counters.
+func (j *Job) progress(cached bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cellsDone++
+	if cached {
+		j.cellsCached++
+	}
+}
+
+// finish records the terminal state and closes the event stream. The report
+// is recorded even for cancelled jobs — partial results are kept, and the
+// fleet report is internally consistent about what never ran.
+func (j *Job) finish(rep *fleet.Report, ctxErr error) {
+	j.mu.Lock()
+	j.report = rep
+	j.finished = time.Now()
+	switch {
+	case ctxErr != nil || j.status == StatusCancelled:
+		j.status = StatusCancelled
+		j.err = context.Canceled
+	case rep != nil && rep.FirstErr() != nil:
+		j.status = StatusFailed
+		j.err = rep.FirstErr()
+	default:
+		j.status = StatusDone
+	}
+	j.mu.Unlock()
+	// Closed outside the lock after the terminal state is visible, so a
+	// subscriber that sees its channel close finds the report in place.
+	j.fan.Close()
+}

@@ -88,8 +88,13 @@ type RunConfig struct {
 	// JitterSCOnly restricts outages to SC and DM nodes, the failure mode
 	// the paper observed.
 	JitterSCOnly bool
-	// CheckInvariants enables the runtime φInv monitor; violations are
-	// counted rather than aborting the run.
+	// CheckInvariants installs the runtime φInv monitor
+	// (runtime.WithInvariantChecking): the invariant is asserted at every DM
+	// sampling instant and violations are counted in the metrics rather than
+	// aborting the run. Off by default — the monitor evaluates the module
+	// predicates on every DM step, and an enabled monitor changes the
+	// run-slice control flow, so it is a cost knob the scenario layer leaves
+	// off unless a workload opts in (scenario.Spec.InvariantMonitor).
 	CheckInvariants bool
 	// RecordTrajectory enables trajectory sampling (costly for long runs).
 	RecordTrajectory bool
@@ -325,6 +330,12 @@ func Run(cfg RunConfig) (*Result, error) {
 	opts := []runtime.Option{
 		runtime.WithEnvironment(env),
 		runtime.WithObservers(observers...),
+	}
+	if cfg.CheckInvariants {
+		// Without this option the executor never evaluates φInv and the
+		// tolerance loop in runSlice is dead code — the monitor must actually
+		// be installed for violations to be detected and counted.
+		opts = append(opts, runtime.WithInvariantChecking())
 	}
 	if cfg.JitterProb > 0 {
 		opts = append(opts, runtime.WithDropFilter(r.dropFilter))

@@ -54,8 +54,10 @@
 // drone plant, reachability analyses standing in for FaSTrack / the
 // Level-Set Toolbox, the RRT* and A* planners, the battery monitor, the
 // closed-loop simulator and the bounded-asynchrony systematic-testing
-// engine. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduced evaluation.
+// engine. Above them sits the serving layer: named scenarios, the parallel
+// fleet engine, and the soter-serve HTTP service with its deterministic
+// result cache (re-exported below as the Service* and Job* vocabulary). See
+// docs/ARCHITECTURE.md for the layer map and README.md for quickstarts.
 package soter
 
 import (
@@ -67,6 +69,7 @@ import (
 	"repro/internal/pubsub"
 	"repro/internal/rta"
 	"repro/internal/runtime"
+	"repro/internal/service"
 )
 
 // Core vocabulary, re-exported from the internal implementation packages so
@@ -201,6 +204,45 @@ func UnmarshalEvent(line []byte) (Event, error) { return obs.UnmarshalEvent(line
 
 // ReadJSONL decodes a recorded JSONL stream back into events.
 func ReadJSONL(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }
+
+// Simulation-as-a-service vocabulary, re-exported from internal/service: the
+// layer cmd/soter-serve runs, for applications that want to embed the job
+// server (submit batch jobs against the scenario registry, stream obs events,
+// share the deterministic result cache) instead of shelling out to HTTP.
+type (
+	// ServiceConfig sizes a job server.
+	ServiceConfig = service.Config
+	// ServiceServer accepts, schedules, caches and reports batch jobs.
+	ServiceServer = service.Server
+	// ServiceStats is the /stats payload (cache counters, job tallies).
+	ServiceStats = service.Stats
+	// Job is one submitted batch with its live state.
+	Job = service.Job
+	// JobSpec is a batch simulation request (scenario, overrides, seeds).
+	JobSpec = service.JobSpec
+	// JobStatus is a job's lifecycle state.
+	JobStatus = service.Status
+	// JobOverrides is the declarative override set of a JobSpec.
+	JobOverrides = service.Overrides
+	// ResultCache is the LRU-bounded deterministic result cache.
+	ResultCache = service.Cache
+	// CacheStats is a snapshot of the result cache's counters.
+	CacheStats = service.CacheStats
+)
+
+// Job lifecycle states.
+const (
+	JobQueued    = service.StatusQueued
+	JobRunning   = service.StatusRunning
+	JobDone      = service.StatusDone
+	JobFailed    = service.StatusFailed
+	JobCancelled = service.StatusCancelled
+)
+
+// NewService builds a job server and starts its runners; Close releases
+// them. Handler() adapts it to HTTP — cmd/soter-serve is exactly that
+// wiring plus graceful shutdown.
+func NewService(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }
 
 // Modes.
 const (
