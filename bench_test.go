@@ -191,6 +191,24 @@ func BenchmarkAblationNoReturn(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationPolicy regenerates the switching-policy grid opened by
+// the rta.Policy redesign: every registered policy family on the faulted
+// mission, all crash-free by the framework clamp.
+func BenchmarkAblationPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.AblationPolicy(experiments.AblationConfig{Seed: 6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Crashed {
+				b.Fatalf("policy %s crashed — the framework clamp must keep every policy safe", row.Policy)
+			}
+		}
+		report(b, "abl3", res.Format())
+	}
+}
+
 // BenchmarkFleetScaling measures batch-simulation throughput of the fleet
 // engine at 1, 4 and GOMAXPROCS workers on a fixed batch of independent
 // surveillance missions. Every mission builds its own stack, store, executor

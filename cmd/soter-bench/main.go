@@ -12,13 +12,17 @@
 //	soter-bench [-seed N] [-quick] [-workers N] [-timeout D] [-json] [experiment ...]
 //
 // With no arguments every experiment runs. Experiments: fig5r fig5l fig6
-// fig10 fig12a fig12b fig12b-fleet fig12c sec5c sec5d abl-delta abl-return
-// scenarios.
+// fig10 fig12a fig12b fig12b-fleet fig12c sec5c sec5d abl-delta abl-policy
+// abl-return scenarios. abl-policy is the switching-policy grid opened by
+// the rta.Policy redesign: every registered policy family on the faulted
+// ablation mission.
 //
 // With -json, one JSON object per experiment is written to stdout instead of
-// the text tables: {"name", "wall_ms", "crashes", "ac_fraction"} — the
-// machine-readable feed for BENCH_*.json perf-trajectory tracking.
-// ac_fraction is -1 for experiments with no AC/SC switching layer.
+// the text tables: {"name", "policy", "wall_ms", "crashes", "ac_fraction"} —
+// the machine-readable feed for BENCH_*.json perf-trajectory tracking.
+// ac_fraction is -1 for experiments with no AC/SC switching layer; policy is
+// the switching policy the experiment ran ("grid" for multi-policy sweeps,
+// "n/a" when there is no switching layer to run one).
 //
 // The whole harness is cancellation-aware: -timeout bounds the total wall
 // clock and SIGINT/SIGTERM interrupt it; either way the experiments finished
@@ -41,6 +45,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/fleet"
+	"repro/internal/rta"
 	"repro/internal/scenario"
 )
 
@@ -50,6 +55,9 @@ type outcome struct {
 	text       string
 	crashes    int
 	acFraction float64 // -1 when the experiment has no AC/SC layer
+	// policy is the switching policy the experiment ran ("" = the default
+	// soter-fig9; "grid" for sweeps spanning several policies).
+	policy string
 }
 
 type experiment struct {
@@ -68,7 +76,7 @@ func catalogue() []experiment {
 			if err != nil {
 				return outcome{}, err
 			}
-			return outcome{res.Format(), res.CollidingLaps, -1}, nil
+			return outcome{res.Format(), res.CollidingLaps, -1, ""}, nil
 		}},
 		{"fig5l", func(ctx context.Context, seed int64, quick bool, workers int) (outcome, error) {
 			laps := 12
@@ -79,14 +87,14 @@ func catalogue() []experiment {
 			if err != nil {
 				return outcome{}, err
 			}
-			return outcome{res.Format(), res.UnsafeLoops, -1}, nil
+			return outcome{res.Format(), res.UnsafeLoops, -1, ""}, nil
 		}},
 		{"fig6", func(ctx context.Context, seed int64, _ bool, _ int) (outcome, error) {
 			res, err := experiments.Fig6(experiments.Fig6Config{Seed: seed + 1, Context: ctx})
 			if err != nil {
 				return outcome{}, err
 			}
-			return outcome{res.Format(), boolCount(res.Crashed), -1}, nil
+			return outcome{res.Format(), boolCount(res.Crashed), -1, ""}, nil
 		}},
 		{"fig10", func(_ context.Context, seed int64, quick bool, _ int) (outcome, error) {
 			samples := 4000
@@ -97,7 +105,7 @@ func catalogue() []experiment {
 			if err != nil {
 				return outcome{}, err
 			}
-			return outcome{res.Format(), 0, -1}, nil
+			return outcome{res.Format(), 0, -1, ""}, nil
 		}},
 		{"fig12a", func(ctx context.Context, seed int64, quick bool, _ int) (outcome, error) {
 			tours := 2
@@ -126,7 +134,7 @@ func catalogue() []experiment {
 			if err != nil {
 				return outcome{}, err
 			}
-			return outcome{res.Format(), boolCount(res.Crashed), res.ACFraction}, nil
+			return outcome{res.Format(), boolCount(res.Crashed), res.ACFraction, ""}, nil
 		}},
 		{"fig12b-fleet", func(ctx context.Context, seed int64, quick bool, workers int) (outcome, error) {
 			cfg := experiments.Fig12bFleetConfig{
@@ -141,14 +149,14 @@ func catalogue() []experiment {
 			if err != nil {
 				return outcome{}, err
 			}
-			return outcome{res.Format(), res.Crashes, res.MeanACFraction}, nil
+			return outcome{res.Format(), res.Crashes, res.MeanACFraction, ""}, nil
 		}},
 		{"fig12c", func(ctx context.Context, seed int64, _ bool, _ int) (outcome, error) {
 			res, err := experiments.Fig12c(experiments.Fig12cConfig{Seed: seed + 10, Context: ctx})
 			if err != nil {
 				return outcome{}, err
 			}
-			return outcome{res.Format(), boolCount(res.Crashed), -1}, nil
+			return outcome{res.Format(), boolCount(res.Crashed), -1, ""}, nil
 		}},
 		{"sec5c", func(ctx context.Context, seed int64, quick bool, _ int) (outcome, error) {
 			cfg := experiments.Sec5cConfig{Seed: seed + 2, Queries: 40, ClosedLoop: time.Minute, Context: ctx}
@@ -160,7 +168,7 @@ func catalogue() []experiment {
 			if err != nil {
 				return outcome{}, err
 			}
-			return outcome{res.Format(), boolCount(res.ClosedCrashed), res.PlannerACFrac}, nil
+			return outcome{res.Format(), boolCount(res.ClosedCrashed), res.PlannerACFrac, ""}, nil
 		}},
 		{"sec5d", func(ctx context.Context, seed int64, quick bool, workers int) (outcome, error) {
 			cfg := experiments.Sec5dConfig{Seed: seed + 12, SimHours: 0.5, Workers: workers, Context: ctx}
@@ -195,6 +203,25 @@ func catalogue() []experiment {
 				out.crashes += boolCount(row.Crashed)
 				// Report the paper-default grid point (Δ=100ms, hysteresis 2).
 				if row.Delta == 100*time.Millisecond && row.Hysteresis == 2.0 {
+					out.acFraction = row.ACFraction
+				}
+			}
+			return out, nil
+		}},
+		{"abl-policy", func(ctx context.Context, seed int64, quick bool, workers int) (outcome, error) {
+			cfg := experiments.AblationConfig{Seed: seed + 5, Workers: workers, Context: ctx}
+			if quick {
+				cfg.Duration = 40 * time.Second
+			}
+			res, err := experiments.AblationPolicy(cfg)
+			if err != nil {
+				return outcome{}, err
+			}
+			out := outcome{text: res.Format(), acFraction: -1, policy: "grid"}
+			for _, row := range res.Rows {
+				out.crashes += boolCount(row.Crashed)
+				// Report the paper-default policy's AC fraction as the headline.
+				if row.Policy == rta.DefaultPolicyName {
 					out.acFraction = row.ACFraction
 				}
 			}
@@ -334,12 +361,23 @@ func run() error {
 		completed++
 		wall := time.Since(expStart)
 		if *jsonOut {
+			policy := out.policy
+			if policy == "" {
+				// Mirror the ac_fraction sentinel: an experiment with no
+				// AC/SC switching layer ran no switching policy either.
+				if out.acFraction < 0 {
+					policy = "n/a"
+				} else {
+					policy = rta.DefaultPolicyName
+				}
+			}
 			if err := enc.Encode(struct {
 				Name       string  `json:"name"`
+				Policy     string  `json:"policy"`
 				WallMS     float64 `json:"wall_ms"`
 				Crashes    int     `json:"crashes"`
 				ACFraction float64 `json:"ac_fraction"`
-			}{name, float64(wall.Microseconds()) / 1000, out.crashes, out.acFraction}); err != nil {
+			}{name, policy, float64(wall.Microseconds()) / 1000, out.crashes, out.acFraction}); err != nil {
 				return err
 			}
 			continue

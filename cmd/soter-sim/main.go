@@ -23,6 +23,7 @@
 //	soter-sim -list-scenarios
 //	soter-sim -scenario canyon-corridor -duration 1m
 //	soter-sim -scenario surveillance-city -protection ac-only
+//	soter-sim -scenario surveillance-city -policy sticky-sc:25
 //	soter-sim -planner-bug skip-edge-check -random-targets
 //	soter-sim -csv trajectory.csv
 //	soter-sim -trace run.jsonl
@@ -46,6 +47,7 @@ import (
 	"repro/internal/mission"
 	"repro/internal/obs"
 	"repro/internal/plan"
+	"repro/internal/rta"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
@@ -74,6 +76,7 @@ func run() error {
 		jitter       = flag.Float64("jitter", 0, "per-firing probability of a scheduling outage (SC/DM nodes)")
 		delta        = flag.Duration("delta", 100*time.Millisecond, "motion-primitive DM period Δ")
 		hysteresis   = flag.Float64("hysteresis", 2.0, "φsafer horizon multiplier")
+		policy       = flag.String("policy", "soter-fig9", "switching policy spec: "+strings.Join(rta.PolicyNames(), " | ")+" (optionally name:K)")
 		csvPath      = flag.String("csv", "", "write the flown trajectory to this CSV file")
 		tracePath    = flag.String("trace", "", "write the run's event stream to this JSONL file")
 	)
@@ -185,6 +188,12 @@ func run() error {
 		}
 		spec.Hysteresis = *hysteresis
 	}
+	if set["policy"] {
+		if _, err := rta.ParsePolicy(*policy); err != nil {
+			return err
+		}
+		spec.SwitchPolicy = *policy
+	}
 
 	rcfg, err := spec.Build(*seed)
 	if err != nil {
@@ -210,9 +219,13 @@ func run() error {
 		rcfg.Observers = append(rcfg.Observers, trace)
 	}
 
-	fmt.Printf("SOTER simulator — scenario=%s protection=%s ac=%s Δ=%v planner-bug=%v jitter=%.4f\n",
+	policyName, err := rta.CanonicalPolicySpec(spec.SwitchPolicy)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("SOTER simulator — scenario=%s protection=%s ac=%s Δ=%v policy=%s planner-bug=%v jitter=%.4f\n",
 		spec.Name, rcfg.Stack.Config.Protection, acName(rcfg.Stack.Config.AC),
-		rcfg.Stack.Config.MotionDelta, spec.PlannerBug, spec.JitterProb)
+		rcfg.Stack.Config.MotionDelta, policyName, spec.PlannerBug, spec.JitterProb)
 
 	res, err := sim.Run(rcfg)
 	interrupted := err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))

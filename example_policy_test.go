@@ -1,0 +1,61 @@
+package soter_test
+
+import (
+	"fmt"
+
+	soter "repro"
+)
+
+// countdown is a custom switching policy: after a disengagement it waits a
+// fixed number of DM periods and then proposes AC unconditionally. The
+// proposal is safe regardless — the framework clamps any AC proposal to SC
+// whenever ttf2Δ fails, so a policy can only influence *when* performance is
+// restored, never whether safety holds.
+type countdown struct{ wait int }
+
+func (p countdown) Name() string            { return fmt.Sprintf("countdown:%d", p.wait) }
+func (p countdown) Init() soter.PolicyState { return 0 }
+
+func (p countdown) Decide(st soter.PolicyState, ctx *soter.DecisionContext) (soter.Mode, soter.PolicyState, soter.SwitchReason) {
+	waited, _ := st.(int)
+	if ctx.Current == soter.ModeAC {
+		if ctx.TTF2Delta() {
+			return soter.ModeSC, 0, soter.ReasonTTFTrip
+		}
+		return soter.ModeAC, 0, soter.ReasonNone
+	}
+	waited++
+	if waited < p.wait {
+		return soter.ModeSC, waited, soter.ReasonDwellHold
+	}
+	return soter.ModeAC, 0, soter.ReasonRecovery
+}
+
+// ExampleRegisterPolicy registers a custom switching policy and resolves
+// specs against the registry. A registered policy is selectable everywhere a
+// policy can be named: ModuleDecl{Policy: p} when declaring a module
+// directly, scenario.Spec.SwitchPolicy in the workload registry, the
+// "policy" override of a soter-serve job, or soter-sim -policy.
+func ExampleRegisterPolicy() {
+	if err := soter.RegisterPolicy("countdown", func(param int) (soter.Policy, error) {
+		if param == 0 {
+			param = 4 // default wait
+		}
+		return countdown{wait: param}, nil
+	}); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	p, _ := soter.ParsePolicy("countdown:2")
+	fmt.Println(p.Name())
+
+	// Canonicalization makes defaults explicit, so every spelling of the
+	// same behaviour shares one result-cache entry.
+	canon, _ := soter.CanonicalPolicySpec("sticky-sc")
+	fmt.Println(canon)
+
+	// Output:
+	// countdown:2
+	// sticky-sc:10
+}

@@ -350,6 +350,7 @@ func (r *Report) ModuleStats(module string) sim.ModuleStats {
 		if s, ok := res.Metrics.Modules[module]; ok {
 			agg.Disengagements += s.Disengagements
 			agg.Reengagements += s.Reengagements
+			agg.Clamped += s.Clamped
 			agg.ACTime += s.ACTime
 			agg.SCTime += s.SCTime
 		}

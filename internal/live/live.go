@@ -62,7 +62,7 @@ type Runner struct {
 	mu       sync.Mutex
 	store    *pubsub.Store
 	oe       map[string]bool
-	modes    map[string]rta.Mode
+	modes    map[string]rta.DMState
 	switches []runtime.Switch
 	started  time.Time
 
@@ -109,7 +109,7 @@ func New(cfg Config) (*Runner, error) {
 		byKind:   obs.ByKind(cfg.Observers),
 		store:    store,
 		oe:       make(map[string]bool),
-		modes:    make(map[string]rta.Mode),
+		modes:    make(map[string]rta.DMState),
 		stop:     make(chan struct{}),
 	}
 	for dm, ac := range cfg.System.ACNodes() {
@@ -117,7 +117,7 @@ func New(cfg Config) (*Runner, error) {
 		r.oe[cfg.System.SCNodes()[dm]] = true
 	}
 	for _, m := range cfg.System.Modules() {
-		r.modes[m.Name()] = rta.ModeSC
+		r.modes[m.Name()] = m.InitDMState()
 	}
 	if len(cfg.Observers) > 0 {
 		r.events = make(chan obs.Event, eventQueueCap)
@@ -186,7 +186,7 @@ func (r *Runner) Mode(module string) (rta.Mode, bool) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	m, ok := r.modes[module]
-	return m, ok
+	return m.Mode, ok
 }
 
 // Switches returns a copy of the recorded mode changes.
@@ -274,22 +274,23 @@ func (r *Runner) fire(n *node.Node, local node.State, mod *rta.Module, isDM bool
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if isDM {
-		mode, ok := next.(rta.Mode)
+		dm, ok := next.(rta.DMState)
 		if !ok {
 			return local, fmt.Errorf("live: DM %q returned %T", n.Name(), next)
 		}
 		prev := r.modes[mod.Name()]
-		r.modes[mod.Name()] = mode
-		r.oe[mod.AC().Name()] = mode == rta.ModeAC
-		r.oe[mod.SC().Name()] = mode != rta.ModeAC
-		if mode != prev {
+		r.modes[mod.Name()] = dm
+		r.oe[mod.AC().Name()] = dm.Mode == rta.ModeAC
+		r.oe[mod.SC().Name()] = dm.Mode != rta.ModeAC
+		if dm.Mode != prev.Mode {
 			r.recordSwitchLocked(runtime.Switch{
 				Time:   time.Since(r.started),
 				Module: mod.Name(),
-				From:   prev,
-				To:     mode,
+				From:   prev.Mode,
+				To:     dm.Mode,
+				Reason: dm.Reason,
 			})
-			if mode == rta.ModeSC {
+			if dm.Mode == rta.ModeSC {
 				r.forceCoordinatedLocked(mod)
 			}
 		}
@@ -306,18 +307,19 @@ func (r *Runner) fire(n *node.Node, local node.State, mod *rta.Module, isDM bool
 // forceCoordinatedLocked demotes coordinated partners; the caller holds mu.
 func (r *Runner) forceCoordinatedLocked(trigger *rta.Module) {
 	for _, partner := range r.sys.CoordinatedWith(trigger.Name()) {
-		if r.modes[partner.Name()] == rta.ModeSC {
+		prev := r.modes[partner.Name()]
+		if prev.Mode == rta.ModeSC {
 			continue
 		}
-		prev := r.modes[partner.Name()]
-		r.modes[partner.Name()] = rta.ModeSC
+		r.modes[partner.Name()] = rta.DMState{Mode: rta.ModeSC, Reason: rta.ReasonCoordinated, Policy: prev.Policy}
 		r.oe[partner.AC().Name()] = false
 		r.oe[partner.SC().Name()] = true
 		r.recordSwitchLocked(runtime.Switch{
 			Time:        time.Since(r.started),
 			Module:      partner.Name(),
-			From:        prev,
+			From:        prev.Mode,
 			To:          rta.ModeSC,
+			Reason:      rta.ReasonCoordinated,
 			Coordinated: true,
 		})
 	}
@@ -337,7 +339,7 @@ func (r *Runner) recordSwitchLocked(sw runtime.Switch) {
 		// behind loses switch events rather than stalling the DM tick.
 		select {
 		case r.events <- obs.ModeSwitch{
-			T: sw.Time, Module: sw.Module, From: sw.From, To: sw.To, Coordinated: sw.Coordinated,
+			T: sw.Time, Module: sw.Module, From: sw.From, To: sw.To, Reason: sw.Reason, Coordinated: sw.Coordinated,
 		}:
 		default:
 		}

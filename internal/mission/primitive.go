@@ -124,9 +124,23 @@ func NewPrimitiveNode(name string, period time.Duration, ctrl controller.Control
 // With oneWay set the module never returns control to the AC after a switch
 // — the classic Simplex behaviour the paper's two-way switching improves on
 // (used by the ablation benchmark).
-func NewPrimitiveModule(ac, sc *node.Node, strict, landing *reach.Analyzer, oneWay bool) (*rta.Module, error) {
+//
+// policy selects the module's switching policy; nil runs the paper's
+// Figure 9 rules. The policy only decides *when* to hand control between the
+// controllers — the safety clamp (any proposed AC is overridden to SC when
+// ttf2Δ fails) is enforced by the rta.Module regardless of policy, so φmpr
+// holds for every policy in the registry. oneWay is defined only for the
+// default policy: its latch gates the φsafer predicate, which the Figure 9
+// recovery consults but a custom policy may not (always-ac would re-engage
+// straight past it), so combining oneWay with a non-default policy is
+// rejected — the classic-Simplex baseline is an ablation of the Figure 9
+// return path specifically.
+func NewPrimitiveModule(ac, sc *node.Node, strict, landing *reach.Analyzer, oneWay bool, policy rta.Policy) (*rta.Module, error) {
 	if strict == nil {
 		return nil, fmt.Errorf("primitive module: nil analyzer")
+	}
+	if oneWay && policy != nil && policy.Name() != rta.DefaultPolicyName {
+		return nil, fmt.Errorf("primitive module: one-way switching is defined for the default %s policy only, not %q", rta.DefaultPolicyName, policy.Name())
 	}
 	if landing == nil {
 		landing = strict
@@ -147,6 +161,7 @@ func NewPrimitiveModule(ac, sc *node.Node, strict, landing *reach.Analyzer, oneW
 		AC:        ac,
 		SC:        sc,
 		Delta:     strict.Delta(),
+		Policy:    policy,
 		Monitored: []pubsub.TopicName{TopicDroneState, TopicWaypoint},
 		TTF2Delta: func(v pubsub.Valuation) bool {
 			ds, ok := droneState(v)

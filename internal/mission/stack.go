@@ -92,6 +92,14 @@ type StackConfig struct {
 	// OneWaySwitching disables the SC→AC return of the motion module — the
 	// classic Simplex baseline for the switching ablation.
 	OneWaySwitching bool
+	// SwitchPolicy names the motion-primitive module's switching policy in
+	// the rta policy registry ("soter-fig9", "sticky-sc:25", "hysteresis",
+	// "always-ac", "always-sc"); empty selects the paper's Figure 9 rules.
+	// The planner and battery modules always run the default policy — the
+	// policy axis ablates the motion layer, the module the paper's switching
+	// discussion is about. Safety is policy-independent: the module clamps
+	// any policy output to SC whenever ttf2Δ fails.
+	SwitchPolicy string
 	// App configures the surveillance application; its Workspace, Margin
 	// and Seed fields are filled in from this config when zero.
 	App AppConfig
@@ -338,6 +346,10 @@ func Build(cfg StackConfig) (*Stack, error) {
 	// --- Motion primitive layer ----------------------------------------------
 	ac := buildAC(cfg, limits)
 	sc := controller.NewSafe(analyzer, limits, cfg.PrimitivePeriod)
+	policy, err := rta.ParsePolicy(cfg.SwitchPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("stack: switch policy: %w", err)
+	}
 	switch cfg.Protection {
 	case ProtectRTA:
 		acNode, err := NewPrimitiveNode("mpr.ac", cfg.PrimitivePeriod, ac)
@@ -348,7 +360,7 @@ func Build(cfg StackConfig) (*Stack, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stack: %w", err)
 		}
-		pm, err := NewPrimitiveModule(acNode, scNode, analyzer, landingAnalyzer, cfg.OneWaySwitching)
+		pm, err := NewPrimitiveModule(acNode, scNode, analyzer, landingAnalyzer, cfg.OneWaySwitching, policy)
 		if err != nil {
 			return nil, fmt.Errorf("stack: %w", err)
 		}

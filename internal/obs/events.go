@@ -151,6 +151,11 @@ type ModeSwitch struct {
 	Module string        `json:"module"`
 	From   rta.Mode      `json:"from"`
 	To     rta.Mode      `json:"to"`
+	// Reason explains the decision behind the switch: "ttf-trip" (the safety
+	// check disengaged the AC), "recovery" (the policy's recovery condition
+	// re-engaged it), "clamped" (the framework overrode a policy's AC
+	// proposal in an unsafe state) or "coordinated" (forced demotion).
+	Reason rta.SwitchReason `json:"reason,omitempty"`
 	// Coordinated marks a forced demotion through a coordinated-switching
 	// link rather than the module's own DM decision.
 	Coordinated bool `json:"coordinated,omitempty"`

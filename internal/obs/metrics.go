@@ -14,6 +14,13 @@ type ModuleStats struct {
 	Disengagements int
 	// Reengagements counts SC→AC switches (performance restored).
 	Reengagements int
+	// Clamped counts the disengagements forced by the framework clamp — the
+	// module overriding a switching policy's AC proposal in a state where
+	// ttf2Δ fails. Zero for the default Figure 9 policy on well-formed
+	// modules, whose (P3) obligation makes φsafer states survive 2Δ (so the
+	// recovery never proposes AC against a failing ttf2Δ); ad-hoc predicates
+	// without that coupling can see fig9 recoveries clamped too.
+	Clamped int
 	// ACTime and SCTime accumulate wall-clock time spent in each mode.
 	ACTime, SCTime time.Duration
 }
@@ -113,6 +120,9 @@ func (s *MetricsSink) OnEvent(e Event) {
 		stats := s.m.Modules[ev.Module]
 		if ev.To == rta.ModeSC {
 			stats.Disengagements++
+			if ev.Reason == rta.ReasonClamped {
+				stats.Clamped++
+			}
 		} else {
 			stats.Reengagements++
 		}

@@ -21,7 +21,8 @@ func allEventKinds() []Event {
 		RunEnd{T: 2 * time.Minute, TargetsVisited: 7, Battery: 0.625, Err: "context canceled"},
 		NodeFired{T: 10 * time.Millisecond, Node: "mpr.ac"},
 		NodeFired{T: 20 * time.Millisecond, Node: "mpr.dm", DM: true, Dropped: true},
-		ModeSwitch{T: 300 * time.Millisecond, Module: "safe-mpr", From: rta.ModeAC, To: rta.ModeSC, Coordinated: true},
+		ModeSwitch{T: 300 * time.Millisecond, Module: "safe-mpr", From: rta.ModeAC, To: rta.ModeSC, Reason: rta.ReasonCoordinated, Coordinated: true},
+		ModeSwitch{T: 350 * time.Millisecond, Module: "safe-mpr", From: rta.ModeAC, To: rta.ModeSC, Reason: rta.ReasonClamped},
 		InvariantViolation{T: 400 * time.Millisecond, Module: "safe-mpr", Mode: rta.ModeSC},
 		TimeProgress{T: 500 * time.Millisecond, Prev: 400 * time.Millisecond},
 		TrajectorySample{T: 505 * time.Millisecond, Pos: geom.V(1.5, -2.25, 3), Vel: geom.V(0.1, 0, -0.5), Mode: rta.ModeAC, Landed: true},

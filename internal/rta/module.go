@@ -94,6 +94,12 @@ type Decl struct {
 	// so a module with a large Δ does not dwell in SC for a full period at
 	// startup.
 	DMPhase time.Duration
+	// Policy is the switching policy the generated DM runs; nil selects the
+	// built-in Figure 9 policy (the paper's rules, DefaultPolicyName). The
+	// module clamps any policy output to SC whenever ttf2Δ fails, so the
+	// Theorem 3.1 safety argument is independent of the policy ("policy
+	// proposes, module disposes"). Resolve named policies with ParsePolicy.
+	Policy Policy
 }
 
 // Module is a compiled, well-formed-checked RTA module with its generated
@@ -108,6 +114,13 @@ type Module struct {
 	ttf       StatePredicate
 	inSafer   StatePredicate
 	safe      StatePredicate
+	policy    Policy
+	// decideCtx is the reusable decision context: DM steps of one module are
+	// strictly sequential in both executors, so recycling it keeps the
+	// per-decision path allocation-free (the zero-alloc discipline of the
+	// rest of the tick loop). A Module's decision path is therefore not safe
+	// for concurrent use — like node stepping, one run owns it.
+	decideCtx DecisionContext
 }
 
 // Static (structural) well-formedness errors.
@@ -161,6 +174,10 @@ func NewModule(d Decl) (*Module, error) {
 	if phase < 0 {
 		return nil, fmt.Errorf("%w: module %q: DM phase %v must be non-negative", ErrNotWellFormed, d.Name, phase)
 	}
+	policy := d.Policy
+	if policy == nil {
+		policy = fig9{}
+	}
 	m := &Module{
 		name:      d.Name,
 		ac:        d.AC,
@@ -171,6 +188,7 @@ func NewModule(d Decl) (*Module, error) {
 		ttf:       d.TTF2Delta,
 		inSafer:   d.InSafer,
 		safe:      d.Safe,
+		policy:    policy,
 	}
 	dm, err := m.generateDM()
 	if err != nil {
@@ -180,16 +198,17 @@ func NewModule(d Decl) (*Module, error) {
 	return m, nil
 }
 
-// generateDM builds the decision-module node. Its local state is the mode;
-// it subscribes to the monitored topics and publishes nothing — the runtime
-// reads its mode to update the output-enable map OE (rule DM-STEP, dm2).
+// generateDM builds the decision-module node. Its local state is a DMState
+// (mode + policy state + last decision reason); it subscribes to the
+// monitored topics and publishes nothing — the runtime reads its mode to
+// update the output-enable map OE (rule DM-STEP, dm2).
 func (m *Module) generateDM() (*node.Node, error) {
 	step := func(st node.State, in pubsub.Valuation) (node.State, pubsub.Valuation, error) {
-		mode, ok := st.(Mode)
+		dm, ok := st.(DMState)
 		if !ok {
-			return nil, nil, fmt.Errorf("decision module local state has type %T, want rta.Mode", st)
+			return nil, nil, fmt.Errorf("decision module local state has type %T, want rta.DMState", st)
 		}
-		return m.Decide(mode, in), nil, nil
+		return m.DecideState(dm, in), nil, nil
 	}
 	return node.New(
 		m.name+".dm",
@@ -197,30 +216,72 @@ func (m *Module) generateDM() (*node.Node, error) {
 		m.monitored,
 		nil,
 		step,
-		node.WithInit(func() node.State { return ModeSC }),
+		node.WithInit(func() node.State { return m.InitDMState() }),
 		node.WithPhase(m.dmPhase),
 	)
 }
 
-// Decide applies the switching logic of Figure 9 to the current mode and
-// monitored state, returning the next mode.
-func (m *Module) Decide(mode Mode, st pubsub.Valuation) Mode {
-	switch mode {
-	case ModeAC:
-		if m.ttf(st) { // Reach(st, *, 2Δ) ⊄ φsafe
-			return ModeSC
-		}
-		return ModeAC
-	case ModeSC:
-		if m.inSafer(st) { // st ∈ φsafer
-			return ModeAC
-		}
-		return ModeSC
-	default:
-		// Unknown mode: fail safe.
-		return ModeSC
-	}
+// InitDMState is the initial DM local state: SC mode (the initial
+// configuration of Section IV, OE0 enables SC) with the policy's initial
+// state.
+func (m *Module) InitDMState() DMState {
+	return DMState{Mode: ModeSC, Policy: m.policy.Init()}
 }
+
+// DecideState applies the module's switching policy to the current DM state
+// and monitored state, then enforces the framework's safety clamp: a
+// proposed AC is overridden to SC whenever ttf2Δ fails, so no policy —
+// however adversarial — can hold AC in a state from which φsafe could be
+// left within 2Δ. With the default Figure 9 policy this reproduces Decide
+// exactly (the paper's rules never propose AC against a failing ttf2Δ).
+func (m *Module) DecideState(st DMState, in pubsub.Valuation) DMState {
+	ctx := &m.decideCtx
+	*ctx = DecisionContext{
+		Module:  m.name,
+		Current: st.Mode,
+		Delta:   m.delta,
+		state:   in,
+		ttf:     m.ttf,
+		inSafer: m.inSafer,
+	}
+	mode, ps, reason := m.policy.Decide(st.Policy, ctx)
+	switch reason {
+	case ReasonNone, ReasonTTFTrip, ReasonRecovery, ReasonDwellHold:
+	default:
+		// Clamped and coordinated are framework-owned (a policy must not
+		// claim the module overrode it, or corrupt the Clamped metric), and
+		// reasons outside the documented vocabulary must not leak into
+		// traces. Normalize both away.
+		reason = ReasonNone
+	}
+	if mode != ModeAC {
+		// Any proposal other than AC fails safe to SC (unknown modes
+		// included), like the hardwired DM did.
+		mode = ModeSC
+	}
+	if mode == ModeAC && ctx.TTF2Delta() {
+		// The clamp: policy proposes, module disposes.
+		mode, reason = ModeSC, ReasonClamped
+	}
+	return DMState{Mode: mode, Reason: reason, Policy: ps}
+}
+
+// Decide applies the module's switching policy (with a fresh policy state)
+// to the current mode and monitored state, returning the next mode. For the
+// default policy this is the switching logic of Figure 9:
+//
+//	mode = AC ∧ ttf2Δ        → SC
+//	mode = SC ∧ st ∈ φsafer  → AC
+//
+// Stateful policies should be driven through DecideState, which threads the
+// policy state; Decide answers the memoryless question "what would a fresh
+// DM decide here".
+func (m *Module) Decide(mode Mode, st pubsub.Valuation) Mode {
+	return m.DecideState(DMState{Mode: mode, Policy: m.policy.Init()}, st).Mode
+}
+
+// Policy returns the module's switching policy.
+func (m *Module) Policy() Policy { return m.policy }
 
 // Name returns the module name.
 func (m *Module) Name() string { return m.name }

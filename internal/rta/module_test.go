@@ -115,7 +115,11 @@ func TestDecide(t *testing.T) {
 		{"AC switches on ttf even in safer", ModeAC, true, true, ModeSC},
 		{"SC stays outside safer", ModeSC, false, false, ModeSC},
 		{"SC returns in safer", ModeSC, false, true, ModeAC},
-		{"SC returns in safer regardless of ttf", ModeSC, true, true, ModeAC},
+		// Changed by the policy redesign: the framework clamp overrides any
+		// proposed AC while ttf2Δ fails, including the Figure 9 recovery.
+		// (Unreachable for well-formed modules: (P3) makes φsafer states
+		// survive 2Δ under any controller, so inSafer ⇒ ¬ttf2Δ there.)
+		{"SC recovery clamped while ttf fails", ModeSC, true, true, ModeSC},
 		{"unknown mode fails safe", Mode(99), false, true, ModeSC},
 	}
 	for _, tt := range tests {
@@ -141,12 +145,12 @@ func TestDMStepUpdatesMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, out, err := m.DM().Step(ModeAC, pubsub.Valuation{"state": nil})
+	st, out, err := m.DM().Step(DMState{Mode: ModeAC}, pubsub.Valuation{"state": nil})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.(Mode) != ModeSC {
-		t.Errorf("DM step mode = %v, want SC", st)
+	if dm := st.(DMState); dm.Mode != ModeSC || dm.Reason != ReasonTTFTrip {
+		t.Errorf("DM step state = %+v, want SC mode with ttf-trip reason", dm)
 	}
 	if len(out) != 0 {
 		t.Errorf("DM published %v", out)

@@ -60,6 +60,8 @@ type Switch struct {
 	Module string
 	From   rta.Mode
 	To     rta.Mode
+	// Reason explains the decision (ttf-trip, recovery, clamped, ...).
+	Reason rta.SwitchReason
 	// Coordinated marks a forced demotion through a coordinated-switching
 	// link rather than the module's own DM decision.
 	Coordinated bool
@@ -131,7 +133,7 @@ type switchHook func(Switch)
 // OnEvent implements obs.Observer.
 func (h switchHook) OnEvent(e obs.Event) {
 	if sw, ok := e.(obs.ModeSwitch); ok {
-		h(Switch{Time: sw.T, Module: sw.Module, From: sw.From, To: sw.To, Coordinated: sw.Coordinated})
+		h(Switch{Time: sw.T, Module: sw.Module, From: sw.From, To: sw.To, Reason: sw.Reason, Coordinated: sw.Coordinated})
 	}
 }
 
@@ -255,11 +257,11 @@ func (e *Executor) Topics() *pubsub.Store { return e.cfg.Topics }
 func (e *Executor) Mode(moduleName string) (rta.Mode, error) {
 	for _, m := range e.sys.Modules() {
 		if m.Name() == moduleName {
-			mode, ok := e.cfg.Local[m.DM().Name()].(rta.Mode)
+			dm, ok := e.cfg.Local[m.DM().Name()].(rta.DMState)
 			if !ok {
 				return 0, fmt.Errorf("module %q: DM state has type %T", moduleName, e.cfg.Local[m.DM().Name()])
 			}
-			return mode, nil
+			return dm.Mode, nil
 		}
 	}
 	return 0, fmt.Errorf("unknown module %q", moduleName)
@@ -427,28 +429,29 @@ func (e *Executor) fire(name string) error {
 	return nil
 }
 
-// fireDM executes DM-STEP: update the mode from the switching logic and flip
-// the output-enable entries of the controlled AC and SC (dm1, dm2).
+// fireDM executes DM-STEP: update the DM state from the switching policy and
+// flip the output-enable entries of the controlled AC and SC (dm1, dm2).
 func (e *Executor) fireDM(m *rta.Module, dmNode *node.Node, in pubsub.Valuation) error {
-	prev, ok := e.cfg.Local[dmNode.Name()].(rta.Mode)
+	prev, ok := e.cfg.Local[dmNode.Name()].(rta.DMState)
 	if !ok {
-		return fmt.Errorf("DM %q: local state has type %T, want rta.Mode", dmNode.Name(), e.cfg.Local[dmNode.Name()])
+		return fmt.Errorf("DM %q: local state has type %T, want rta.DMState", dmNode.Name(), e.cfg.Local[dmNode.Name()])
 	}
 	next, _, err := dmNode.Step(prev, in)
 	if err != nil {
 		return err
 	}
-	mode, ok := next.(rta.Mode)
+	dm, ok := next.(rta.DMState)
 	if !ok {
-		return fmt.Errorf("DM %q: step returned state of type %T, want rta.Mode", dmNode.Name(), next)
+		return fmt.Errorf("DM %q: step returned state of type %T, want rta.DMState", dmNode.Name(), next)
 	}
-	e.cfg.Local[dmNode.Name()] = mode
+	e.cfg.Local[dmNode.Name()] = dm
+	mode := dm.Mode
 	enAC := mode == rta.ModeAC
 	e.cfg.OE[m.AC().Name()] = enAC
 	e.cfg.OE[m.SC().Name()] = !enAC
 
-	if mode != prev {
-		e.recordSwitch(Switch{Time: e.cfg.CT, Module: m.Name(), From: prev, To: mode})
+	if mode != prev.Mode {
+		e.recordSwitch(Switch{Time: e.cfg.CT, Module: m.Name(), From: prev.Mode, To: mode, Reason: dm.Reason})
 		// Coordinated switching (Section VII): a disengagement demotes the
 		// coordinated partner modules to SC immediately.
 		if mode == rta.ModeSC {
@@ -470,28 +473,31 @@ func (e *Executor) fireDM(m *rta.Module, dmNode *node.Node, in pubsub.Valuation)
 func (e *Executor) recordSwitch(sw Switch) {
 	e.switches = append(e.switches, sw)
 	if list := e.byKind[obs.KindModeSwitch]; len(list) > 0 {
-		obs.Emit(list, obs.ModeSwitch{T: sw.Time, Module: sw.Module, From: sw.From, To: sw.To, Coordinated: sw.Coordinated})
+		obs.Emit(list, obs.ModeSwitch{T: sw.Time, Module: sw.Module, From: sw.From, To: sw.To, Reason: sw.Reason, Coordinated: sw.Coordinated})
 	}
 }
 
 // forceCoordinated demotes every module coordinated with the trigger to SC
 // mode, updating their DM state and output enables and recording the forced
-// switches.
+// switches. The partner's policy state is preserved — its next own decision
+// sees Mode = SC and (by the policy contract) treats the demotion like any
+// other entry into SC mode.
 func (e *Executor) forceCoordinated(trigger *rta.Module) {
 	for _, partner := range e.sys.CoordinatedWith(trigger.Name()) {
 		dmName := partner.DM().Name()
-		prev, ok := e.cfg.Local[dmName].(rta.Mode)
-		if !ok || prev == rta.ModeSC {
+		prev, ok := e.cfg.Local[dmName].(rta.DMState)
+		if !ok || prev.Mode == rta.ModeSC {
 			continue
 		}
-		e.cfg.Local[dmName] = rta.ModeSC
+		e.cfg.Local[dmName] = rta.DMState{Mode: rta.ModeSC, Reason: rta.ReasonCoordinated, Policy: prev.Policy}
 		e.cfg.OE[partner.AC().Name()] = false
 		e.cfg.OE[partner.SC().Name()] = true
 		e.recordSwitch(Switch{
 			Time:        e.cfg.CT,
 			Module:      partner.Name(),
-			From:        prev,
+			From:        prev.Mode,
 			To:          rta.ModeSC,
+			Reason:      rta.ReasonCoordinated,
 			Coordinated: true,
 		})
 	}

@@ -534,7 +534,7 @@ func TestExecutorEventStream(t *testing.T) {
 				dmFired++
 			}
 		case obs.ModeSwitch:
-			switches = append(switches, Switch{Time: ev.T, Module: ev.Module, From: ev.From, To: ev.To, Coordinated: ev.Coordinated})
+			switches = append(switches, Switch{Time: ev.T, Module: ev.Module, From: ev.From, To: ev.To, Reason: ev.Reason, Coordinated: ev.Coordinated})
 		}
 	}
 	// 5 instants (100..500ms), each firing DM + both controllers; one SC
@@ -568,7 +568,7 @@ func TestSwitchHookIsObserverShim(t *testing.T) {
 		WithSwitchHook(func(sw Switch) { hooked = append(hooked, sw) }),
 		WithObservers(obs.ObserverFunc(func(e obs.Event) {
 			if sw, ok := e.(obs.ModeSwitch); ok {
-				observed = append(observed, Switch{Time: sw.T, Module: sw.Module, From: sw.From, To: sw.To, Coordinated: sw.Coordinated})
+				observed = append(observed, Switch{Time: sw.T, Module: sw.Module, From: sw.From, To: sw.To, Reason: sw.Reason, Coordinated: sw.Coordinated})
 			}
 		})),
 	)

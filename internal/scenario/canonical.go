@@ -11,6 +11,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/mission"
 	"repro/internal/plan"
+	"repro/internal/rta"
 )
 
 // canonicalSpec is the serialization schema of Canonical: every field of a
@@ -35,6 +36,7 @@ type canonicalSpec struct {
 	OneWaySwitching    bool                   `json:"one_way_switching,omitempty"`
 	MotionDeltaNS      time.Duration          `json:"motion_delta_ns"`
 	Hysteresis         float64                `json:"hysteresis"`
+	SwitchPolicy       string                 `json:"switch_policy"`
 	PlanMargin         float64                `json:"plan_margin"`
 	Faults             FaultProfile           `json:"faults"`
 	PlannerBug         plan.Bug               `json:"planner_bug"`
@@ -103,6 +105,14 @@ func (s Spec) Canonical() ([]byte, error) {
 	if c.PlanMargin <= 0 {
 		c.PlanMargin = 0.45 + 0.8 // default margin + planner slack
 	}
+	// The policy spec is normalized so every spelling of the same switching
+	// behaviour — "", "soter-fig9", "sticky-sc" vs "sticky-sc:10" — shares
+	// one cache entry, while genuinely different policies never collide.
+	pol, err := rta.CanonicalPolicySpec(s.SwitchPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: canonicalize: %w", s.Name, err)
+	}
+	c.SwitchPolicy = pol
 	out, err := json.Marshal(c)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: canonicalize: %w", s.Name, err)

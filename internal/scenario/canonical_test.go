@@ -54,6 +54,7 @@ func TestCanonicalResolvesDefaults(t *testing.T) {
 		"learned-bad":     func(s *Spec) { s.LearnedBadFraction = 0.12 },
 		"motion-delta":    func(s *Spec) { s.MotionDelta = 100 * time.Millisecond },
 		"hysteresis":      func(s *Spec) { s.Hysteresis = 2.0 },
+		"switch-policy":   func(s *Spec) { s.SwitchPolicy = "soter-fig9" },
 		"plan-margin":     func(s *Spec) { s.PlanMargin = 1.25 },
 	} {
 		got, err := base.With(Override{Apply: explicit}).Fingerprint(1)
@@ -89,6 +90,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"duration":  fp(base.With(Override{Apply: func(s *Spec) { s.Duration = 42 * time.Second }}), 1),
 		"jitter":    fp(base.With(Override{Apply: func(s *Spec) { s.JitterProb = 0.01 }}), 1),
 		"invariant": fp(base.With(Override{Apply: func(s *Spec) { s.InvariantMonitor = true }}), 1),
+		"policy":    fp(base.With(Override{Apply: func(s *Spec) { s.SwitchPolicy = "sticky-sc" }}), 1),
 		"canyon":    fp(MustGet("canyon-corridor"), 1),
 	}
 	for name, h := range distinct {

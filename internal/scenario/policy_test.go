@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rta"
+	"repro/internal/sim"
+)
+
+// TestCanonicalHandlesEverySpecField is the cache-poisoning guard: every
+// field of Spec must be explicitly accounted for by Canonical() — either
+// included in the canonical schema or deliberately excluded below. A knob
+// added to Spec without a decision here fails this test, instead of silently
+// aliasing cache entries for missions that differ in the new knob (the
+// soter-serve result cache would then serve one mission's verdict for the
+// other).
+func TestCanonicalHandlesEverySpecField(t *testing.T) {
+	// included: the field influences the compiled mission and is serialized
+	// (directly or in resolved form — Workspace becomes bounds+obstacles,
+	// Start is defaulted, SwitchPolicy is canonicalized).
+	// excluded: the field is labelling only; two Specs differing only there
+	// denote the same mission and must share cache entries.
+	handled := map[string]string{
+		"Name":               "excluded",
+		"Description":        "excluded",
+		"Workspace":          "included",
+		"Targets":            "included",
+		"RandomTargets":      "included",
+		"Start":              "included",
+		"InitialBattery":     "included",
+		"DrainMultiple":      "included",
+		"Protection":         "included",
+		"AC":                 "included",
+		"LearnedBadFraction": "included",
+		"NoPlannerModule":    "included",
+		"NoBatteryModule":    "included",
+		"OneWaySwitching":    "included",
+		"MotionDelta":        "included",
+		"Hysteresis":         "included",
+		"SwitchPolicy":       "included",
+		"PlanMargin":         "included",
+		"Faults":             "included",
+		"PlannerBug":         "included",
+		"PlannerBugRate":     "included",
+		"JitterProb":         "included",
+		"JitterSCOnly":       "included",
+		"Duration":           "included",
+		"InvariantMonitor":   "included",
+	}
+	excluded := 0
+	for _, decision := range handled {
+		if decision == "excluded" {
+			excluded++
+		}
+	}
+	typ := reflect.TypeOf(Spec{})
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		if _, ok := handled[name]; !ok {
+			t.Errorf("Spec field %q is not handled by Canonical(): include it in the canonical schema or deliberately exclude it (and record the decision in TestCanonicalHandlesEverySpecField)", name)
+		}
+		delete(handled, name)
+	}
+	for name := range handled {
+		t.Errorf("TestCanonicalHandlesEverySpecField lists %q but Spec has no such field — stale entry", name)
+	}
+	// Cross-check the "included" count against the canonical schema so a
+	// field can't be marked included while the schema forgot it: every Spec
+	// knob maps to at least one canonicalSpec field (Workspace maps to two).
+	if specFields, canonFields := typ.NumField()-excluded, reflect.TypeOf(canonicalSpec{}).NumField(); canonFields < specFields {
+		t.Errorf("canonicalSpec has %d fields for %d included Spec knobs — a knob is missing from the schema", canonFields, specFields)
+	}
+}
+
+// TestFingerprintDistinguishesPolicy: two specs differing only in
+// SwitchPolicy produce distinct fingerprints — policies never share cache
+// entries — while every spelling of the same policy shares one.
+func TestFingerprintDistinguishesPolicy(t *testing.T) {
+	base := MustGet("surveillance-city")
+	fp := func(policy string) string {
+		t.Helper()
+		s := base
+		s.SwitchPolicy = policy
+		h, err := s.Fingerprint(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	if fp("") != fp("soter-fig9") {
+		t.Error("\"\" and \"soter-fig9\" denote the same policy but fingerprint differently")
+	}
+	if fp("sticky-sc") != fp("sticky-sc:10") {
+		t.Error("\"sticky-sc\" and its explicit default parameter fingerprint differently")
+	}
+	distinct := []string{"", "sticky-sc", "sticky-sc:25", "hysteresis", "always-ac", "always-sc"}
+	seen := map[string]string{}
+	for _, pol := range distinct {
+		h := fp(pol)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("fingerprint collision between policies %q and %q", pol, prev)
+		}
+		seen[h] = pol
+	}
+	if _, err := (Spec{Name: "x", Targets: base.Targets, Duration: time.Second, SwitchPolicy: "no-such"}).Fingerprint(1); err == nil {
+		t.Error("unknown policy canonicalized without error")
+	}
+}
+
+// recordRun builds the spec at the seed and replays it, returning the
+// marshalled event stream (trajectory samples excluded to keep the
+// comparison about decisions, not floats — though those are deterministic
+// too) and the metrics.
+func recordRun(t *testing.T, s Spec, seed int64) ([]byte, sim.Metrics) {
+	t.Helper()
+	rcfg, err := s.Build(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := obs.NewJSONLWriter(&buf)
+	rcfg.Observers = append(rcfg.Observers, w)
+	res, err := sim.Run(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res.Metrics
+}
+
+// TestDefaultPolicyGolden: a spec with SwitchPolicy unset and one naming
+// soter-fig9 explicitly produce byte-identical event streams and metrics on
+// a fixed scenario+seed — the acceptance golden pinning the redesign to the
+// seed behaviour — while a spec differing only in policy produces a
+// different stream.
+func TestDefaultPolicyGolden(t *testing.T) {
+	base := MustGet("surveillance-city")
+	base.Duration = 15 * time.Second
+
+	unset, unsetMetrics := recordRun(t, base, 3)
+
+	explicit := base
+	explicit.SwitchPolicy = "soter-fig9"
+	named, namedMetrics := recordRun(t, explicit, 3)
+
+	if !bytes.Equal(unset, named) {
+		t.Fatal("explicit soter-fig9 event stream diverges from the default")
+	}
+	if !reflect.DeepEqual(unsetMetrics, namedMetrics) {
+		t.Fatalf("explicit soter-fig9 metrics diverge: %+v vs %+v", unsetMetrics, namedMetrics)
+	}
+	if s := unsetMetrics.Modules["safe-motion-primitive"]; s.Disengagements == 0 {
+		t.Fatal("golden run never switched; the comparison is vacuous")
+	}
+
+	sticky := base
+	sticky.SwitchPolicy = "sticky-sc:40" // 4s dwell at Δ=100ms: visibly different switching
+	stickyStream, stickyMetrics := recordRun(t, sticky, 3)
+	if bytes.Equal(unset, stickyStream) {
+		t.Error("sticky-sc:40 produced the identical event stream — the policy knob is not wired through Build")
+	}
+	if reflect.DeepEqual(unsetMetrics.Modules, stickyMetrics.Modules) {
+		t.Error("sticky-sc:40 produced identical module stats — the policy knob is not wired through Build")
+	}
+}
+
+// TestPolicyClampKeepsAlwaysACSafe: the adversarial always-ac policy on the
+// default mission stays crash-free — safety is enforced by the module clamp,
+// not by policy good behaviour — and the run records the clamp firing.
+func TestPolicyClampKeepsAlwaysACSafe(t *testing.T) {
+	s := MustGet("surveillance-city")
+	s.Duration = 15 * time.Second
+	s.SwitchPolicy = "always-ac"
+	_, m := recordRun(t, s, 3)
+	if m.Crashed {
+		t.Fatalf("always-ac crashed at t=%v — the framework clamp failed", m.CrashTime)
+	}
+	stats := m.Modules["safe-motion-primitive"]
+	if stats.Disengagements == 0 {
+		t.Fatal("always-ac never disengaged; the clamp was never exercised")
+	}
+	if stats.Clamped != stats.Disengagements {
+		t.Errorf("always-ac disengaged %d times but only %d were clamps — it cannot disengage voluntarily", stats.Disengagements, stats.Clamped)
+	}
+}
+
+// TestSwitchReasonsInStream: the default policy's switches carry ttf-trip /
+// recovery reasons end to end through the sim event stream.
+func TestSwitchReasonsInStream(t *testing.T) {
+	s := MustGet("surveillance-city")
+	s.Duration = 15 * time.Second
+	rcfg, err := s.Build(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder(0)
+	rcfg.Observers = append(rcfg.Observers, rec)
+	if _, err := sim.Run(rcfg); err != nil {
+		t.Fatal(err)
+	}
+	saw := map[rta.SwitchReason]bool{}
+	for _, e := range rec.Events() {
+		if sw, ok := e.(obs.ModeSwitch); ok {
+			saw[sw.Reason] = true
+		}
+	}
+	if !saw[rta.ReasonTTFTrip] || !saw[rta.ReasonRecovery] {
+		t.Errorf("expected both ttf-trip and recovery reasons in the stream, saw %v", saw)
+	}
+	if saw[rta.ReasonNone] {
+		t.Error("a mode switch carried no reason")
+	}
+}

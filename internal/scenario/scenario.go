@@ -22,6 +22,7 @@ import (
 	"repro/internal/mission"
 	"repro/internal/plan"
 	"repro/internal/plant"
+	"repro/internal/rta"
 	"repro/internal/sim"
 )
 
@@ -127,6 +128,13 @@ type Spec struct {
 	// motion-primitive module (Remark 3.3); zero keeps the defaults.
 	MotionDelta time.Duration
 	Hysteresis  float64
+	// SwitchPolicy names the motion-primitive module's switching policy in
+	// the rta policy registry ("soter-fig9", "sticky-sc:25", "hysteresis:5",
+	// "always-ac", "always-sc"); empty selects the paper's Figure 9 rules.
+	// Safety is policy-independent (the module clamps unsafe AC proposals to
+	// SC), so the policy is a pure performance/conservatism axis — the
+	// sweepable ablation dimension of the Section V comparisons.
+	SwitchPolicy string
 	// PlanMargin is the clearance planners aim for; zero defaults to the
 	// safety margin + 0.8. Scenarios whose routes intentionally hug
 	// obstacles (narrow passages, corner hazards) set it lower.
@@ -188,6 +196,20 @@ func (s Spec) Validate() error {
 	if s.Faults.Active() && s.Faults.First < 0 {
 		return fmt.Errorf("scenario %q: fault profile First %v must be non-negative", s.Name, s.Faults.First)
 	}
+	if s.SwitchPolicy != "" {
+		pol, err := rta.ParsePolicy(s.SwitchPolicy)
+		if err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		// One-way switching ablates the Figure 9 return path specifically;
+		// its latch gates φsafer, which a custom policy may never consult
+		// (always-ac would re-engage straight past it). Reject the
+		// combination here so jobs fail at submit, not mid-fleet.
+		if s.OneWaySwitching && pol.Name() != rta.DefaultPolicyName {
+			return fmt.Errorf("scenario %q: OneWaySwitching is defined for the default %s policy only, not %q",
+				s.Name, rta.DefaultPolicyName, s.SwitchPolicy)
+		}
+	}
 	return nil
 }
 
@@ -229,6 +251,7 @@ func (s Spec) StackConfig(seed int64) (mission.StackConfig, error) {
 	cfg.WithPlannerModule = !s.NoPlannerModule
 	cfg.WithBatteryModule = !s.NoBatteryModule
 	cfg.OneWaySwitching = s.OneWaySwitching
+	cfg.SwitchPolicy = s.SwitchPolicy
 	cfg.PlannerBug = s.PlannerBug
 	cfg.PlannerBugRate = s.PlannerBugRate
 	if s.Protection != 0 {

@@ -107,6 +107,9 @@ func TestValidateRejects(t *testing.T) {
 		{"jitter > 1", func(s *Spec) { s.JitterProb = 2 }},
 		{"bug rate > 1", func(s *Spec) { s.PlannerBugRate = 1.5 }},
 		{"negative fault start", func(s *Spec) { s.Faults = FaultProfile{First: -time.Second, Len: time.Second} }},
+		{"unknown policy", func(s *Spec) { s.SwitchPolicy = "no-such-policy" }},
+		{"bad policy param", func(s *Spec) { s.SwitchPolicy = "sticky-sc:0" }},
+		{"one-way with non-default policy", func(s *Spec) { s.OneWaySwitching, s.SwitchPolicy = true, "always-ac" }},
 	}
 	for _, tc := range cases {
 		spec := valid

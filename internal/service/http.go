@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/fleet"
 	"repro/internal/obs"
+	"repro/internal/rta"
 	"repro/internal/scenario"
 	"repro/internal/sim"
 )
@@ -39,6 +40,10 @@ type CellsView struct {
 // ReportView is the JSON projection of a fleet.Report: the aggregates plus
 // one row per mission with its deterministic verdict.
 type ReportView struct {
+	// Policy is the canonical switching-policy spec every mission of the job
+	// ran ("soter-fig9" unless overridden) — sweep output stays
+	// self-describing when jobs differ only by policy.
+	Policy              string     `json:"policy"`
 	Missions            int        `json:"missions"`
 	Failed              int        `json:"failed"`
 	Crashes             int        `json:"crashes"`
@@ -64,12 +69,14 @@ type CellView struct {
 	Metrics sim.Metrics `json:"metrics,omitzero"`
 }
 
-// reportView projects a fleet report into its wire form.
-func reportView(rep *fleet.Report) *ReportView {
+// reportView projects a fleet report into its wire form; policy is the job's
+// canonical switching-policy spec.
+func reportView(rep *fleet.Report, policy string) *ReportView {
 	if rep == nil {
 		return nil
 	}
 	v := &ReportView{
+		Policy:              policy,
 		Missions:            rep.Missions,
 		Failed:              rep.Failed,
 		Crashes:             rep.Crashes,
@@ -119,9 +126,21 @@ func (j *Job) view() JobView {
 		v.Error = j.err.Error()
 	}
 	if j.status.Terminal() {
-		v.Report = reportView(j.report)
+		v.Report = reportView(j.report, j.policyName())
 	}
 	return v
+}
+
+// policyName is the canonical switching-policy spec of the job's resolved
+// scenario ("soter-fig9" unless overridden).
+func (j *Job) policyName() string {
+	name, err := rta.CanonicalPolicySpec(j.resolved.SwitchPolicy)
+	if err != nil {
+		// The spec was registry-validated at submit; an error here can only
+		// mean the policy was unregistered since — fall back to the raw spec.
+		return j.resolved.SwitchPolicy
+	}
+	return name
 }
 
 // scenarioView is one /scenarios catalog entry.
@@ -202,7 +221,7 @@ func (s *Server) Handler() http.Handler {
 			writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s; report not ready", j.ID(), j.Status()))
 			return
 		}
-		writeJSON(w, http.StatusOK, reportView(j.Report()))
+		writeJSON(w, http.StatusOK, reportView(j.Report(), j.policyName()))
 	})
 	mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	cancel := func(w http.ResponseWriter, r *http.Request) {

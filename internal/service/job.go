@@ -94,6 +94,9 @@ type Overrides struct {
 	Hysteresis *float64 `json:"hysteresis,omitempty"`
 	// MotionDelta overrides the motion-primitive DM period Δ.
 	MotionDelta Duration `json:"motion_delta,omitempty"`
+	// Policy selects the motion module's switching policy by registry spec
+	// ("soter-fig9", "sticky-sc:25", "hysteresis", "always-ac", "always-sc").
+	Policy string `json:"policy,omitempty"`
 	// InvariantMonitor toggles the runtime φInv monitor.
 	InvariantMonitor *bool `json:"invariant_monitor,omitempty"`
 }
@@ -156,6 +159,10 @@ func (o Overrides) apply(s scenario.Spec) (scenario.Spec, error) {
 	}
 	if o.MotionDelta != 0 {
 		s.MotionDelta = time.Duration(o.MotionDelta)
+	}
+	if o.Policy != "" {
+		// Validated (against the policy registry) by Spec.Validate in resolve.
+		s.SwitchPolicy = o.Policy
 	}
 	if o.InvariantMonitor != nil {
 		s.InvariantMonitor = *o.InvariantMonitor

@@ -57,7 +57,7 @@ func TestModeSwitchEventsMatchSwitchLog(t *testing.T) {
 		t.Fatal("run produced no switches; the comparison is vacuous")
 	}
 	for i, sw := range res.Switches {
-		want := obs.ModeSwitch{T: sw.Time, Module: sw.Module, From: sw.From, To: sw.To, Coordinated: sw.Coordinated}
+		want := obs.ModeSwitch{T: sw.Time, Module: sw.Module, From: sw.From, To: sw.To, Reason: sw.Reason, Coordinated: sw.Coordinated}
 		if fromEvents[i] != want {
 			t.Errorf("event %d = %+v, switch log says %+v", i, fromEvents[i], want)
 		}

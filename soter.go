@@ -101,6 +101,19 @@ type (
 	Module = rta.Module
 	// StatePredicate evaluates a predicate over monitored topics.
 	StatePredicate = rta.StatePredicate
+	// Policy is a pluggable DM switching policy ("policy proposes, module
+	// disposes": unsafe AC proposals are clamped to SC by the framework).
+	Policy = rta.Policy
+	// PolicyState is a policy's private per-module state.
+	PolicyState = rta.PolicyState
+	// PolicyFactory builds a policy from the parameter of a "name:K" spec.
+	PolicyFactory = rta.PolicyFactory
+	// DecisionContext is what a policy observes at a DM sampling instant.
+	DecisionContext = rta.DecisionContext
+	// DMState is a decision module's local state (mode + policy state).
+	DMState = rta.DMState
+	// SwitchReason explains a DM decision (ttf-trip, recovery, clamped, ...).
+	SwitchReason = rta.SwitchReason
 	// Certificate discharges the semantic obligations (P2a), (P2b), (P3).
 	Certificate = rta.Certificate
 	// System is a composition of RTA modules and plain nodes.
@@ -251,6 +264,47 @@ const (
 	// ModeAC: the advanced (untrusted) controller is in control.
 	ModeAC = rta.ModeAC
 )
+
+// Switch reasons, as carried by ModeSwitchEvent.Reason and Switch.Reason.
+const (
+	// ReasonNone: the decision kept the current mode with nothing noteworthy
+	// to report (the zero value of the vocabulary).
+	ReasonNone = rta.ReasonNone
+	// ReasonTTFTrip: the policy disengaged the AC because ttf2Δ failed.
+	ReasonTTFTrip = rta.ReasonTTFTrip
+	// ReasonRecovery: the policy's recovery condition re-engaged the AC.
+	ReasonRecovery = rta.ReasonRecovery
+	// ReasonDwellHold: the policy held SC although φsafer held (dwell or
+	// hysteresis not yet satisfied); never appears on an actual switch.
+	ReasonDwellHold = rta.ReasonDwellHold
+	// ReasonClamped: the framework overrode a policy's unsafe AC proposal.
+	ReasonClamped = rta.ReasonClamped
+	// ReasonCoordinated: a forced demotion through a coordination link.
+	ReasonCoordinated = rta.ReasonCoordinated
+)
+
+// DefaultPolicyName names the built-in Figure 9 switching policy — the
+// default wherever a policy can be named but is not.
+const DefaultPolicyName = rta.DefaultPolicyName
+
+// RegisterPolicy adds a named switching-policy factory to the registry, so
+// scenarios, jobs and CLIs can select it by spec string ("name" or
+// "name:K"). Built-ins: soter-fig9 (the paper's Figure 9 rules, the
+// default), sticky-sc (minimum SC dwell), hysteresis (recovery debounce),
+// always-ac and always-sc (ablation bounds).
+func RegisterPolicy(name string, f PolicyFactory) error { return rta.RegisterPolicy(name, f) }
+
+// ParsePolicy resolves a policy spec against the registry ("" selects the
+// default Figure 9 policy).
+func ParsePolicy(spec string) (Policy, error) { return rta.ParsePolicy(spec) }
+
+// PolicyNames returns the registered policy names, sorted.
+func PolicyNames() []string { return rta.PolicyNames() }
+
+// CanonicalPolicySpec normalizes a policy spec, making the default name and
+// defaulted parameters explicit ("" → "soter-fig9", "sticky-sc" →
+// "sticky-sc:10").
+func CanonicalPolicySpec(spec string) (string, error) { return rta.CanonicalPolicySpec(spec) }
 
 // Composition and well-formedness errors.
 var (
