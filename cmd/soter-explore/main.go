@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/controller"
@@ -107,9 +111,13 @@ func run() error {
 			cfg.Seeds = append(cfg.Seeds, *seed+int64(i))
 		}
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	start := time.Now()
-	rep, err := explore.Run(cfg)
-	if err != nil {
+	rep, err := explore.Run(ctx, cfg)
+	if err == context.Canceled {
+		fmt.Println("interrupted; reporting the schedules explored so far")
+	} else if err != nil {
 		return err
 	}
 	mode := "exhaustive (bounded-asynchrony DFS)"

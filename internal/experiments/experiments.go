@@ -19,7 +19,7 @@ import (
 // cancel whole experiments cleanly.
 func runCtx(ctx context.Context) context.Context {
 	if ctx == nil {
-		return context.Background()
+		return context.Background() //soter:ctx-ok documented shim: nil config context means run to completion
 	}
 	return ctx
 }

@@ -15,6 +15,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -79,8 +80,11 @@ type Report struct {
 	Exhausted    bool // exhaustive mode visited the whole bounded tree
 }
 
-// Run performs the exploration.
-func Run(cfg Config) (*Report, error) {
+// Run performs the exploration. Cancelling the context stops the search at
+// the next schedule boundary: the partial Report accumulated so far is
+// returned together with the context's error, so an interrupted hunt keeps
+// the counterexamples it already found.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.Build == nil {
 		return nil, errors.New("explore: nil builder")
 	}
@@ -94,16 +98,19 @@ func Run(cfg Config) (*Report, error) {
 		cfg.MaxPermutation = 720
 	}
 	if len(cfg.Seeds) > 0 {
-		return runRandom(cfg)
+		return runRandom(ctx, cfg)
 	}
-	return runExhaustive(cfg)
+	return runExhaustive(ctx, cfg)
 }
 
 // runExhaustive enumerates choice vectors in lexicographic order.
-func runExhaustive(cfg Config) (*Report, error) {
+func runExhaustive(ctx context.Context, cfg Config) (*Report, error) {
 	rep := &Report{}
 	prefix := []int{}
 	for rep.Schedules < cfg.MaxSchedules {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
 		tr, err := execute(cfg, prefix, nil)
 		if err != nil {
 			return nil, err
@@ -128,11 +135,14 @@ func runExhaustive(cfg Config) (*Report, error) {
 }
 
 // runRandom samples one schedule per seed.
-func runRandom(cfg Config) (*Report, error) {
+func runRandom(ctx context.Context, cfg Config) (*Report, error) {
 	rep := &Report{}
 	for _, seed := range cfg.Seeds {
 		if rep.Schedules >= cfg.MaxSchedules {
 			break
+		}
+		if err := ctx.Err(); err != nil {
+			return rep, err
 		}
 		tr, err := execute(cfg, nil, &seed)
 		if err != nil {

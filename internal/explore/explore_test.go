@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -98,7 +99,7 @@ func buildToggleSystem() (*Instance, error) {
 }
 
 func TestExhaustiveFindsInterleavingViolation(t *testing.T) {
-	rep, err := Run(Config{
+	rep, err := Run(context.Background(), Config{
 		Build:        buildToggleSystem,
 		Horizon:      50 * time.Millisecond,
 		MaxSchedules: 4000,
@@ -119,7 +120,7 @@ func TestExhaustiveFindsInterleavingViolation(t *testing.T) {
 	if !errors.As(v.Err, &iv) {
 		t.Fatalf("violation error = %v", v.Err)
 	}
-	rep2, err := Run(Config{
+	rep2, err := Run(context.Background(), Config{
 		Build:                buildToggleSystem,
 		Horizon:              v.Time,
 		MaxSchedules:         1,
@@ -141,7 +142,7 @@ func TestRandomModeFindsViolation(t *testing.T) {
 	for i := range seeds {
 		seeds[i] = int64(i + 1)
 	}
-	rep, err := Run(Config{
+	rep, err := Run(context.Background(), Config{
 		Build:        buildToggleSystem,
 		Horizon:      50 * time.Millisecond,
 		MaxSchedules: len(seeds),
@@ -173,7 +174,7 @@ func TestExhaustiveTerminatesOnSafeSystem(t *testing.T) {
 		}
 		return &Instance{System: sys}, nil
 	}
-	rep, err := Run(Config{Build: build, Horizon: 100 * time.Millisecond, MaxSchedules: 100})
+	rep, err := Run(context.Background(), Config{Build: build, Horizon: 100 * time.Millisecond, MaxSchedules: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestPropertyHook(t *testing.T) {
 			},
 		}, nil
 	}
-	rep, err := Run(Config{
+	rep, err := Run(context.Background(), Config{
 		Build:                build,
 		Horizon:              100 * time.Millisecond,
 		MaxSchedules:         5,
@@ -223,10 +224,10 @@ func TestPropertyHook(t *testing.T) {
 }
 
 func TestRunValidation(t *testing.T) {
-	if _, err := Run(Config{Horizon: time.Second}); err == nil {
+	if _, err := Run(context.Background(), Config{Horizon: time.Second}); err == nil {
 		t.Error("nil builder accepted")
 	}
-	if _, err := Run(Config{Build: buildToggleSystem}); err == nil {
+	if _, err := Run(context.Background(), Config{Build: buildToggleSystem}); err == nil {
 		t.Error("zero horizon accepted")
 	}
 }

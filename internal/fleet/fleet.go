@@ -166,7 +166,7 @@ func (r *Report) Format() string {
 // context's error, and the Report stays internally consistent — a cancelled
 // batch can never masquerade as a clean one.
 func Run(ctx context.Context, missions []Mission, opts Options) *Report {
-	start := time.Now()
+	start := time.Now() //soter:nondet-ok Report.Wall measures real elapsed time; it never feeds simulated state
 	ran := make([]bool, len(missions))
 	// Every worker-level error is carried inside its MissionResult, so the
 	// closure returns res.Err into Map's error slot too: the two channels
@@ -189,7 +189,7 @@ func Run(ctx context.Context, missions []Mission, opts Options) *Report {
 	rep := &Report{
 		Results:  results,
 		Workers:  opts.workers(),
-		Wall:     time.Since(start),
+		Wall:     time.Since(start), //soter:nondet-ok measurement-only: reporting wall time of the batch
 		Missions: len(missions),
 	}
 	for _, res := range results {
@@ -218,12 +218,12 @@ func Run(ctx context.Context, missions []Mission, opts Options) *Report {
 
 func runOne(ctx context.Context, i int, m Mission, opts Options) MissionResult {
 	res := MissionResult{Name: m.Name, Seed: m.Seed}
-	start := time.Now()
-	defer func() { res.Wall = time.Since(start) }()
+	start := time.Now()                             //soter:nondet-ok MissionResult.Wall measures real elapsed time; it never feeds simulated state
+	defer func() { res.Wall = time.Since(start) }() //soter:nondet-ok measurement-only: reporting wall time of the mission
 	if opts.Reuse != nil {
 		if prior, ok := opts.Reuse(i, m); ok {
 			prior.Name, prior.Seed, prior.Cached = m.Name, m.Seed, true
-			prior.Wall = time.Since(start)
+			prior.Wall = time.Since(start) //soter:nondet-ok measurement-only: reporting cache-hit latency
 			return prior
 		}
 	}

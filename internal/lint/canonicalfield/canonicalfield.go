@@ -1,0 +1,197 @@
+// Package canonicalfield turns the PR-5 reflection guard
+// (TestCanonicalHandlesEverySpecField) into a compile-time check. The result
+// cache keys every simulation by the canonical form of its scenario.Spec; a
+// Spec field that influences a run but is absent from Canonical() poisons
+// the cache — two different workloads share a fingerprint. This analyzer
+// requires every field of scenario.Spec to be handled in canonical.go:
+// either referenced by the canonicalization (included in the schema) or
+// named in the canonicalExcluded list (excluded deliberately, e.g. pure
+// labels). It also reports stale exclusion entries that no longer name a
+// field, with the diagnostic positioned at the entry.
+package canonicalfield
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"path/filepath"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the canonicalfield analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "canonicalfield",
+	Doc:  "require every scenario.Spec field to be included in or explicitly excluded from the canonical cache key",
+	Run:  run,
+}
+
+// excludedVar names the explicit exclusion list canonical.go must declare.
+const excludedVar = "canonicalExcluded"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pathBase(pass.Pkg.Path()) != "scenario" {
+		return nil, nil
+	}
+	spec, ok := pass.Pkg.Scope().Lookup("Spec").(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	st, ok := spec.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil, nil
+	}
+
+	canonical := canonicalFile(pass)
+	if canonical == nil {
+		pass.Reportf(spec.Pos(), "package %s declares Spec but has no canonical.go: the Spec has no canonical cache-key form", pass.Pkg.Name())
+		return nil, nil
+	}
+
+	// Fields the canonicalization references, by identity of the field
+	// object — directly in canonical.go, or inside unexported Spec helper
+	// methods it calls (s.workspace(), s.start(): resolution helpers are
+	// part of the canonicalization; exported methods like Validate are not,
+	// because their reads serve a different contract).
+	referenced := map[types.Object]bool{}
+	visited := map[types.Object]bool{}
+	var scan func(n ast.Node)
+	scan = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.TypesInfo.Selections[sel]
+			if !ok {
+				return true
+			}
+			switch s.Kind() {
+			case types.FieldVal:
+				referenced[s.Obj()] = true
+			case types.MethodVal:
+				fn, ok := s.Obj().(*types.Func)
+				if !ok || fn.Exported() || visited[fn] || !onSpec(fn, spec) {
+					return true
+				}
+				visited[fn] = true
+				if body := methodBody(pass, fn); body != nil {
+					scan(body)
+				}
+			}
+			return true
+		})
+	}
+	scan(canonical)
+
+	fieldByName := map[string]*types.Var{}
+	for i := 0; i < st.NumFields(); i++ {
+		fieldByName[st.Field(i).Name()] = st.Field(i)
+	}
+
+	excluded := map[string]bool{}
+	if vs := findVarSpec(canonical, excludedVar); vs != nil {
+		for _, val := range vs.Values {
+			cl, ok := val.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			for _, elt := range cl.Elts {
+				tv, ok := pass.TypesInfo.Types[elt]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					continue
+				}
+				name := constant.StringVal(tv.Value)
+				if _, isField := fieldByName[name]; !isField {
+					pass.ReportRangef(elt, "%s entry %q does not name a Spec field (renamed or removed?)", excludedVar, name)
+					continue
+				}
+				excluded[name] = true
+			}
+		}
+	}
+
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if referenced[f] || excluded[f.Name()] {
+			continue
+		}
+		pass.Reportf(f.Pos(), "Spec field %s is not handled by the canonical cache key: include it in canonicalSpec or list it in %s (two workloads differing only in %s would share a fingerprint)", f.Name(), excludedVar, f.Name())
+	}
+	return nil, nil
+}
+
+func pathBase(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		path = path[i+1:]
+	}
+	return path
+}
+
+// onSpec reports whether fn is a method with receiver Spec or *Spec.
+func onSpec(fn *types.Func, spec *types.TypeName) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() == spec
+}
+
+// methodBody locates the declaration body of a method anywhere in the
+// package.
+func methodBody(pass *analysis.Pass, fn *types.Func) *ast.BlockStmt {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil {
+				continue
+			}
+			if pass.TypesInfo.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// canonicalFile returns the package file named canonical.go, if any.
+func canonicalFile(pass *analysis.Pass) *ast.File {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.FileStart).Filename
+		if filepath.Base(name) == "canonical.go" {
+			return file
+		}
+	}
+	return nil
+}
+
+// findVarSpec locates a package-level var spec declaring the name in the file.
+func findVarSpec(file *ast.File, name string) *ast.ValueSpec {
+	for _, decl := range file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, id := range vs.Names {
+				if id.Name == name {
+					return vs
+				}
+			}
+		}
+	}
+	return nil
+}

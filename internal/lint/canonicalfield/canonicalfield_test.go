@@ -1,0 +1,12 @@
+package canonicalfield_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/canonicalfield"
+	"repro/internal/lint/linttest"
+)
+
+func TestCanonicalField(t *testing.T) {
+	linttest.Run(t, canonicalfield.Analyzer, "testdata/src/scenario")
+}

@@ -1,0 +1,28 @@
+package scenario
+
+// canonicalExcluded lists Spec fields deliberately left out of the cache
+// key. "Label" is stale — no such field exists — which the analyzer reports
+// at the entry itself.
+var canonicalExcluded = [...]string{
+	"Comment",
+	"Label", // want `canonicalExcluded entry "Label" does not name a Spec field`
+}
+
+// canonicalSpec is the cache-key form.
+type canonicalSpec struct {
+	Name    string
+	Seed    int64
+	Horizon int64
+}
+
+// Canonical builds the cache-key form of the Spec.
+func (s *Spec) Canonical() canonicalSpec {
+	if err := s.Validate(); err != nil {
+		return canonicalSpec{}
+	}
+	return canonicalSpec{
+		Name:    s.Name,
+		Seed:    s.seed(),
+		Horizon: int64(s.Horizon),
+	}
+}

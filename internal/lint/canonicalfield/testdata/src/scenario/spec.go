@@ -1,0 +1,37 @@
+// Package scenario is the canonicalfield fixture: a miniature Spec whose
+// canonical form deliberately mishandles one field.
+package scenario
+
+import (
+	"errors"
+	"time"
+)
+
+// Spec is the fixture workload description.
+type Spec struct {
+	Name    string        // referenced directly by Canonical
+	Seed    int64         // referenced only through the unexported seed() helper
+	Horizon time.Duration // referenced directly by Canonical
+	Workers int           // want `Spec field Workers is not handled by the canonical cache key`
+	Comment string        // excluded via canonicalExcluded
+}
+
+// seed is an unexported resolution helper called from Canonical; the
+// analyzer follows it across files, so the Seed read below counts as
+// canonicalization.
+func (s *Spec) seed() int64 {
+	if s.Seed == 0 {
+		return 1
+	}
+	return s.Seed
+}
+
+// Validate is exported: Canonical calls it, but the analyzer must NOT count
+// its reads as canonicalization — validation serves a different contract —
+// so the Workers read below does not rescue the missing field.
+func (s *Spec) Validate() error {
+	if s.Workers < 0 {
+		return errors.New("negative workers")
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+// Package flowpkg is the ctxflow fixture. Its import path runs through
+// internal/ (the analyzer's gate), so exported long-running entry points
+// must take a context and ambient roots are forbidden outside annotated
+// shims.
+package flowpkg
+
+import (
+	"context"
+	"net/http"
+)
+
+// Server is a receiver for the method cases.
+type Server struct{}
+
+func (s *Server) Run() error { return nil } // want `exported long-running entry point Run does not accept a context.Context`
+
+func RunSweep(ctx context.Context) error { return ctx.Err() }
+
+func Serve(addr string) error { return nil } // want `exported long-running entry point Serve does not accept a context.Context`
+
+// ServeHTTP is exempt: its signature is fixed by net/http.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {}
+
+// run is unexported: exempt.
+func run() {}
+
+//soter:ctx-ok fixture: lifecycle owned by the caller's supervisor
+func Listen(addr string) error { return nil }
+
+func roots(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background() // want `context.Background\(\) mints an ambient root context in internal package flowpkg`
+	}
+	_ = context.TODO() // want `context.TODO\(\) mints an ambient root context in internal package flowpkg`
+	return ctx
+}
+
+func shim() context.Context {
+	return context.Background() //soter:ctx-ok fixture: documented shim with a reason
+}

@@ -1,0 +1,18 @@
+package detsource_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detsource"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetsource(t *testing.T) {
+	linttest.Run(t, detsource.Analyzer, "testdata/src/sim")
+}
+
+// TestIgnoresNondeterministicPackages checks the package gate: the same
+// patterns are legal outside the deterministic set.
+func TestIgnoresNondeterministicPackages(t *testing.T) {
+	linttest.Run(t, detsource.Analyzer, "testdata/src/clock")
+}

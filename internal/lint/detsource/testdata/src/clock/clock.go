@@ -1,0 +1,24 @@
+// Package clock is the detsource negative fixture: its import-path base is
+// not in the deterministic set, so wall-clock reads, global rand and
+// unsorted map iteration are all legal here and the analyzer must stay
+// silent.
+package clock
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Stamp() time.Time { return time.Now() }
+
+func Jitter() time.Duration {
+	return time.Duration(rand.Intn(1000)) * time.Millisecond
+}
+
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

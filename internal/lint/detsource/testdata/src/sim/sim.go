@@ -1,0 +1,124 @@
+// Package sim is a detsource fixture: its import-path base matches a
+// deterministic package, so every ambient-nondeterminism pattern below must
+// be flagged and every order-independent pattern must stay silent.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// --- ambient sources ---
+
+func clocks() time.Duration {
+	start := time.Now()      // want `time.Now reads the wall clock in deterministic package sim`
+	return time.Since(start) // want `time.Since reads the wall clock in deterministic package sim`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time.Until reads the wall clock in deterministic package sim`
+}
+
+func globalDraws() (int, float64) {
+	n := rand.Intn(6)   // want `global rand.Intn in deterministic package sim`
+	f := rand.Float64() // want `global rand.Float64 in deterministic package sim`
+	return n, f
+}
+
+func seededDraws() float64 {
+	r := rand.New(rand.NewSource(42)) // constructors are legal
+	return r.Float64()                // methods on a seeded generator are legal
+}
+
+func suppressedClock() time.Time {
+	return time.Now() //soter:nondet-ok fixture: measurement only, never feeds simulated state
+}
+
+// A bare //soter:nondet-ok (no reason) suppresses but is itself flagged;
+// that diagnostic lands on the directive comment, where a want comment
+// cannot coexist, so the behaviour is covered by the directive package's
+// unit test instead of this fixture.
+
+// --- map iteration ---
+
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `write to keys escapes a map-range loop`
+	}
+	return keys
+}
+
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted after the loop: legal
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k // keyed write: position named by the key, not the order
+	}
+	return out
+}
+
+func bucket(m map[string]int) []string {
+	out := make([]string, len(m))
+	for k, v := range m {
+		i := v % len(out)
+		out[i] = k // keyed slice write via a loop-local index: legal
+	}
+	return out
+}
+
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v // commutative integer accumulation: legal
+	}
+	return sum
+}
+
+func anyTrue(m map[string]bool) bool {
+	found := false
+	for _, v := range m {
+		if v {
+			found = true // constant store is idempotent: legal
+		}
+	}
+	return found
+}
+
+func concat(m map[string]string) string {
+	s := ""
+	for _, v := range m {
+		s += v // want `write to s escapes a map-range loop`
+	}
+	return s
+}
+
+func publish(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `channel send inside a map-range loop publishes iteration order`
+	}
+}
+
+func spawn(m map[string]int, f func(string)) {
+	for k := range m {
+		go f(k) // want `goroutine launched per map-range iteration`
+	}
+}
+
+func suppressedLoop(m map[string]int) []string {
+	var keys []string
+	//soter:nondet-ok fixture: ordering is cosmetic here
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,98 @@
+package directive_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/directive"
+)
+
+const src = `package p
+
+func f() {
+	a() //soter:nondet-ok measurement only
+	b() //soter:nondet-ok
+	//soter:ctx-ok documented shim
+	c()
+	d()
+}
+func a() {}
+func b() {}
+func c() {}
+func d() {}
+`
+
+// parse builds the index for the fixture source and a pass that records
+// the directive package's own diagnostics (bare directives).
+func parse(t *testing.T) (*token.FileSet, *directive.Index, *analysis.Pass, *[]string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := directive.ParseFiles(fset, []*ast.File{f})
+	var reported []string
+	pass := &analysis.Pass{
+		Fset: fset,
+		Report: func(d analysis.Diagnostic) {
+			reported = append(reported, d.Message)
+		},
+	}
+	return fset, idx, pass, &reported
+}
+
+// posOnLine returns a position on the given 1-based line of the file.
+func posOnLine(fset *token.FileSet, line int) token.Pos {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestSameLineSuppression(t *testing.T) {
+	fset, idx, pass, reported := parse(t)
+	if !idx.SuppressedAt(pass, "nondet-ok", posOnLine(fset, 4)) {
+		t.Error("directive with a reason on the same line should suppress")
+	}
+	if len(*reported) != 0 {
+		t.Errorf("reasoned directive should not be reported, got %v", *reported)
+	}
+}
+
+func TestBareDirectiveSuppressesButReports(t *testing.T) {
+	fset, idx, pass, reported := parse(t)
+	if !idx.SuppressedAt(pass, "nondet-ok", posOnLine(fset, 5)) {
+		t.Error("a bare directive should still suppress")
+	}
+	if len(*reported) != 1 || !strings.Contains((*reported)[0], "needs a reason") {
+		t.Errorf("bare directive should be reported as missing a reason, got %v", *reported)
+	}
+}
+
+func TestLineAboveSuppression(t *testing.T) {
+	fset, idx, pass, reported := parse(t)
+	if !idx.SuppressedAt(pass, "ctx-ok", posOnLine(fset, 7)) {
+		t.Error("directive on the line above should suppress")
+	}
+	if len(*reported) != 0 {
+		t.Errorf("unexpected reports %v", *reported)
+	}
+}
+
+func TestNameAndPositionMustMatch(t *testing.T) {
+	fset, idx, pass, _ := parse(t)
+	if idx.SuppressedAt(pass, "ctx-ok", posOnLine(fset, 4)) {
+		t.Error("a nondet-ok directive must not suppress ctx-ok findings")
+	}
+	if idx.SuppressedAt(pass, "nondet-ok", posOnLine(fset, 8)) {
+		t.Error("an uncovered line must not be suppressed")
+	}
+}

@@ -1,0 +1,231 @@
+// Package eventkind makes extending the obs event taxonomy an
+// all-or-nothing operation. The JSONL event stream is a wire format: every
+// obs.Kind must have a wire name (kindNames), a decode arm (UnmarshalEvent's
+// kind switch), a concrete event type declaring it (a Kind() method), and a
+// populated instance in the round-trip corpus (allEventKinds) that pins the
+// encode/decode cycle. Before this analyzer, forgetting one of the four was
+// a latent decode failure discovered at replay time; now it is a build
+// error positioned at the Kind constant that was added.
+package eventkind
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the eventkind analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventkind",
+	Doc:  "require every obs.Kind to be plumbed through the name table, the JSONL decode switch, a Kind() method and the round-trip corpus",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pathBase(pass.Pkg.Path()) != "obs" {
+		return nil, nil
+	}
+	kinds := kindConstants(pass)
+	if len(kinds) == 0 {
+		return nil, nil // not an event vocabulary package after all
+	}
+
+	checkTable(pass, kinds, "kindNames", "wire-name table kindNames")
+	checkDecodeSwitch(pass, kinds)
+	typeKinds := checkKindMethods(pass, kinds)
+	checkCorpus(pass, kinds, typeKinds)
+	return nil, nil
+}
+
+func pathBase(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		path = path[i+1:]
+	}
+	return path
+}
+
+// kindConstants returns the exported package-level constants of the defined
+// type Kind, in declaration value order. Unexported constants (the numKinds
+// sentinel) and constants of other types (KindCount) are not event kinds.
+func kindConstants(pass *analysis.Pass) []*types.Const {
+	scope := pass.Pkg.Scope()
+	kindType, ok := scope.Lookup("Kind").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	var kinds []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || c.Type() != kindType.Type() {
+			continue
+		}
+		kinds = append(kinds, c)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		a, _ := constant.Int64Val(kinds[i].Val())
+		b, _ := constant.Int64Val(kinds[j].Val())
+		return a < b
+	})
+	return kinds
+}
+
+// usedKinds collects which of the kinds are referenced anywhere under node.
+func usedKinds(pass *analysis.Pass, node ast.Node, kinds []*types.Const) map[*types.Const]bool {
+	used := map[*types.Const]bool{}
+	byObj := map[types.Object]*types.Const{}
+	for _, k := range kinds {
+		byObj[k] = k
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if k, ok := byObj[pass.TypesInfo.Uses[id]]; ok {
+				used[k] = true
+			}
+		}
+		return true
+	})
+	return used
+}
+
+// checkTable requires every kind to index the named package-level table.
+func checkTable(pass *analysis.Pass, kinds []*types.Const, varName, what string) {
+	spec := findVarSpec(pass, varName)
+	if spec == nil {
+		pass.Reportf(kinds[0].Pos(), "package %s defines event kinds but no %s", pass.Pkg.Name(), what)
+		return
+	}
+	used := usedKinds(pass, spec, kinds)
+	for _, k := range kinds {
+		if !used[k] {
+			pass.Reportf(k.Pos(), "%s has no entry in the %s", k.Name(), what)
+		}
+	}
+}
+
+// checkDecodeSwitch requires every kind to appear in UnmarshalEvent's kind
+// switch, so every wire name decodes to its concrete type.
+func checkDecodeSwitch(pass *analysis.Pass, kinds []*types.Const) {
+	fd := findFunc(pass, "UnmarshalEvent", false)
+	if fd == nil {
+		pass.Reportf(kinds[0].Pos(), "package %s defines event kinds but no UnmarshalEvent decode switch", pass.Pkg.Name())
+		return
+	}
+	used := usedKinds(pass, fd.Body, kinds)
+	for _, k := range kinds {
+		if !used[k] {
+			pass.Reportf(k.Pos(), "%s is not decoded by UnmarshalEvent: events of this kind round-trip to an error", k.Name())
+		}
+	}
+}
+
+// checkKindMethods requires a concrete event type whose Kind() method
+// returns each kind, and returns the type→kind mapping for the corpus check.
+func checkKindMethods(pass *analysis.Pass, kinds []*types.Const) map[types.Type]*types.Const {
+	byObj := map[types.Object]*types.Const{}
+	for _, k := range kinds {
+		byObj[k] = k
+	}
+	covered := map[*types.Const]bool{}
+	typeKinds := map[types.Type]*types.Const{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Kind" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := fn.Type().(*types.Signature).Recv().Type()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			for k := range usedKinds(pass, fd.Body, kinds) {
+				covered[k] = true
+				typeKinds[recv] = k
+			}
+		}
+	}
+	for _, k := range kinds {
+		if !covered[k] {
+			pass.Reportf(k.Pos(), "no event type's Kind() method returns %s: the kind has no concrete event", k.Name())
+		}
+	}
+	return typeKinds
+}
+
+// checkCorpus requires one populated instance of every kind's event type in
+// the allEventKinds round-trip corpus. The corpus lives in a test file, so
+// this check fires on the package's test variant; analyzing the plain
+// package skips it.
+func checkCorpus(pass *analysis.Pass, kinds []*types.Const, typeKinds map[types.Type]*types.Const) {
+	fd := findFunc(pass, "allEventKinds", true)
+	if fd == nil {
+		return
+	}
+	covered := map[*types.Const]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(cl)
+		if t == nil {
+			return true
+		}
+		if k, ok := typeKinds[t]; ok {
+			covered[k] = true
+		}
+		return true
+	})
+	for _, k := range kinds {
+		if !covered[k] {
+			pass.Reportf(k.Pos(), "%s has no event in the allEventKinds round-trip corpus: the JSONL encoding of this kind is untested", k.Name())
+		}
+	}
+}
+
+// findVarSpec locates a package-level var/const spec declaring the name.
+func findVarSpec(pass *analysis.Pass, name string) *ast.ValueSpec {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					if id.Name == name {
+						return vs
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// findFunc locates a top-level function by name; withBody requires one.
+func findFunc(pass *analysis.Pass, name string, withBody bool) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Recv == nil && fd.Name.Name == name && (!withBody || fd.Body != nil) {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package eventkind_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/eventkind"
+	"repro/internal/lint/linttest"
+)
+
+func TestEventKind(t *testing.T) {
+	linttest.Run(t, eventkind.Analyzer, "testdata/src/obs")
+}

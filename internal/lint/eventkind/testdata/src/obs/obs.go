@@ -1,0 +1,81 @@
+// Package obs is the eventkind fixture: a miniature event vocabulary where
+// each kind below KindAlpha is broken in exactly one of the four plumbing
+// stations the analyzer checks — the wire-name table, the decode switch,
+// the Kind() method and the round-trip corpus.
+package obs
+
+import "fmt"
+
+// Kind discriminates event types on the wire.
+type Kind uint8
+
+const (
+	KindAlpha   Kind = iota // fully plumbed: no diagnostics
+	KindBeta                // want `KindBeta has no event in the allEventKinds round-trip corpus`
+	KindGamma               // want `KindGamma is not decoded by UnmarshalEvent`
+	KindDelta               // want `KindDelta has no entry in the wire-name table kindNames`
+	KindEpsilon             // want `no event type's Kind\(\) method returns KindEpsilon` `KindEpsilon has no event in the allEventKinds round-trip corpus`
+	numKinds                // unexported sentinel: not an event kind
+)
+
+// kindNames is the wire-name table; KindDelta is deliberately missing.
+var kindNames = [numKinds]string{
+	KindAlpha:   "alpha",
+	KindBeta:    "beta",
+	KindGamma:   "gamma",
+	KindEpsilon: "epsilon",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", k)
+}
+
+// AlphaEvent is the fully plumbed event.
+type AlphaEvent struct{ N int }
+
+func (AlphaEvent) Kind() Kind { return KindAlpha }
+
+// BetaEvent exists and decodes but is absent from the corpus.
+type BetaEvent struct{ S string }
+
+func (BetaEvent) Kind() Kind { return KindBeta }
+
+// GammaEvent exists but UnmarshalEvent cannot produce it.
+type GammaEvent struct{}
+
+func (GammaEvent) Kind() Kind { return KindGamma }
+
+// DeltaEvent exists but has no wire name.
+type DeltaEvent struct{}
+
+func (DeltaEvent) Kind() Kind { return KindDelta }
+
+// KindEpsilon has no event type at all.
+
+// UnmarshalEvent is the decode switch; KindGamma is deliberately missing.
+func UnmarshalEvent(k Kind, data []byte) (interface{}, error) {
+	switch k {
+	case KindAlpha:
+		return AlphaEvent{}, nil
+	case KindBeta:
+		return BetaEvent{}, nil
+	case KindDelta:
+		return DeltaEvent{}, nil
+	case KindEpsilon:
+		return nil, fmt.Errorf("epsilon has no concrete type")
+	}
+	return nil, fmt.Errorf("unknown kind %s", k)
+}
+
+// allEventKinds is the round-trip corpus; BetaEvent is deliberately missing,
+// and KindEpsilon cannot appear because it has no type.
+func allEventKinds() []interface{} {
+	return []interface{}{
+		AlphaEvent{N: 1},
+		GammaEvent{},
+		DeltaEvent{},
+	}
+}

@@ -1,0 +1,115 @@
+// Package linttest is the fixture harness of the soter-vet suite — the
+// offline analogue of golang.org/x/tools/go/analysis/analysistest. A fixture
+// is an ordinary compilable package under an analyzer's testdata/src
+// directory; expected findings are written next to the offending line:
+//
+//	time.Now() // want `reads the wall clock`
+//
+// Each `// want` comment carries one or more backquoted regexes, every one
+// of which must match a diagnostic reported on that line; diagnostics with
+// no matching expectation, and expectations with no matching diagnostic,
+// fail the test.
+package linttest
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/driver"
+	"repro/internal/lint/load"
+)
+
+// wantRe extracts the backquoted regexes of one want comment.
+var wantRe = regexp.MustCompile("`([^`]+)`")
+
+// expectation is one `// want` regex with its position and match state.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the fixture package rooted at dir (relative to the test's
+// working directory), applies the analyzer, and matches the diagnostics
+// against the fixture's `// want` comments.
+//
+//soter:ctx-ok test harness: bounded by the fixture size and go test's deadline
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Load(load.Config{Dir: abs, Patterns: []string{"."}})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := driver.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			wants = append(wants, parseWants(t, file)...)
+		}
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants collects the `// want` expectations of one fixture file.
+func parseWants(t *testing.T, filename string) []*expectation {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			ms := wantRe.FindAllStringSubmatch(text, -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q (need backquoted regexes)", filename, pos.Line, c.Text)
+			}
+			for _, m := range ms {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp: %v", filename, pos.Line, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}

@@ -342,8 +342,10 @@ func (e *Executor) Run(ctx context.Context, deadline time.Duration) error {
 
 // RunUntil advances the system until ct would exceed deadline. All firings
 // at instants ≤ deadline are executed. It is Run without cancellation.
+//
+//soter:ctx-ok documented shim: RunUntil(d) is defined as Run(Background, d)
 func (e *Executor) RunUntil(deadline time.Duration) error {
-	return e.Run(context.Background(), deadline)
+	return e.Run(context.Background(), deadline) //soter:ctx-ok documented shim: the uncancellable legacy entry point
 }
 
 // timeProgress implements DISCRETE-TIME-PROGRESS-STEP plus the environment

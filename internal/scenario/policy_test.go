@@ -24,9 +24,10 @@ func TestCanonicalHandlesEverySpecField(t *testing.T) {
 	// Start is defaulted, SwitchPolicy is canonicalized).
 	// excluded: the field is labelling only; two Specs differing only there
 	// denote the same mission and must share cache entries.
+	// The excluded set is declared once, in canonical.go, where the
+	// canonicalfield analyzer checks it at build time; this test consumes it
+	// so the two guards can never disagree.
 	handled := map[string]string{
-		"Name":               "excluded",
-		"Description":        "excluded",
 		"Workspace":          "included",
 		"Targets":            "included",
 		"RandomTargets":      "included",
@@ -50,6 +51,9 @@ func TestCanonicalHandlesEverySpecField(t *testing.T) {
 		"JitterSCOnly":       "included",
 		"Duration":           "included",
 		"InvariantMonitor":   "included",
+	}
+	for _, name := range canonicalExcluded {
+		handled[name] = "excluded"
 	}
 	excluded := 0
 	for _, decision := range handled {

@@ -131,7 +131,7 @@ type Server struct {
 
 // New builds a server and starts its job runners. Close releases them.
 func New(cfg Config) *Server {
-	ctx, stop := context.WithCancel(context.Background())
+	ctx, stop := context.WithCancel(context.Background()) //soter:ctx-ok documented shim: the server owns its lifecycle root; Close cancels it
 	s := &Server{
 		cfg:   cfg,
 		cache: NewCache(cfg.CacheEntries),

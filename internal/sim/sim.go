@@ -270,6 +270,8 @@ func (r *runner) markLanded(t time.Duration) {
 // Run executes one closed-loop simulation. A run cancelled through
 // RunConfig.Context returns the consistent partial Result accumulated so far
 // together with the context's error; any other error returns a nil Result.
+//
+//soter:ctx-ok cancellation rides on RunConfig.Context; a ctx parameter would duplicate it
 func Run(cfg RunConfig) (*Result, error) {
 	if cfg.Stack == nil {
 		return nil, fmt.Errorf("sim: nil stack")
@@ -285,7 +287,7 @@ func Run(cfg RunConfig) (*Result, error) {
 	}
 	ctx := cfg.Context
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //soter:ctx-ok documented shim: nil RunConfig.Context means run to completion
 	}
 	ws := cfg.Stack.Config.Workspace
 	drone, err := plant.NewDrone(cfg.Stack.Config.PlantParams, cfg.Seed)
