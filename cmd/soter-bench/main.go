@@ -9,7 +9,8 @@
 //
 // Usage:
 //
-//	soter-bench [-seed N] [-quick] [-workers N] [-timeout D] [-json] [experiment ...]
+//	soter-bench [-seed N] [-quick] [-workers N] [-timeout D] [-json]
+//	            [-cpuprofile F] [-memprofile F] [experiment ...]
 //
 // With no arguments every experiment runs. Experiments: fig5r fig5l fig6
 // fig10 fig12a fig12b fig12b-fleet fig12c sec5c sec5d abl-delta abl-policy
@@ -39,6 +40,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"slices"
 	"syscall"
 	"time"
@@ -304,7 +307,40 @@ func run() error {
 	workers := flag.Int("workers", 0, "fleet worker-pool bound (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "cancel the whole harness after this wall-clock budget (0 = none)")
 	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment instead of text tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (after the experiments finish) to this file")
 	flag.Parse()
+
+	// Profiles cover exactly the selected experiments: the CPU profile starts
+	// before the first and stops after the last; the heap profile is snapped
+	// once everything has finished (after a GC, so it reflects live retention
+	// rather than garbage). Both feed `go tool pprof` against the perf
+	// trajectory tracked in BENCH_*.json.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}()
+	}
 
 	// The run context is cancelled by SIGINT/SIGTERM and, when -timeout is
 	// set, by the wall-clock budget; every experiment threads it into its

@@ -54,6 +54,9 @@ func (s Schedule) NextAfter(t time.Duration) time.Duration {
 type Calendar struct {
 	scheds map[string]Schedule
 	names  []string // sorted, for deterministic iteration
+	// byName is the schedule list aligned with names, so the per-instant
+	// scans in NextTime/FiringAt skip the map lookups.
+	byName []Schedule
 }
 
 // New creates an empty calendar.
@@ -76,6 +79,7 @@ func (c *Calendar) Add(nodeName string, s Schedule) error {
 	c.scheds[nodeName] = s
 	i, _ := slices.BinarySearch(c.names, nodeName)
 	c.names = slices.Insert(c.names, i, nodeName)
+	c.byName = slices.Insert(c.byName, i, s)
 	return nil
 }
 
@@ -98,31 +102,47 @@ func (c *Calendar) Names() []string {
 // FiringAt returns the sorted names of nodes whose time-table contains an
 // entry exactly at time t (the FN' = {n | (n, ct') ∈ CS} of rule dt3).
 func (c *Calendar) FiringAt(t time.Duration) []string {
-	var out []string
-	for _, n := range c.names {
-		if c.scheds[n].FiresAt(t) {
-			out = append(out, n)
+	return c.AppendFiringAt(t, nil)
+}
+
+// AppendFiringAt appends the sorted names of nodes firing exactly at t to
+// dst and returns it — the allocation-free form of FiringAt for callers that
+// reuse a buffer across instants (the executor's time-progress loop).
+func (c *Calendar) AppendFiringAt(t time.Duration, dst []string) []string {
+	for i, s := range c.byName {
+		if s.FiresAt(t) {
+			dst = append(dst, c.names[i])
 		}
 	}
-	return out
+	return dst
 }
 
 // NextTime returns the earliest time strictly after ct at which any node
 // fires, together with the sorted set of nodes firing then (rules dt2, dt3).
 // ok is false when the calendar is empty.
 func (c *Calendar) NextTime(ct time.Duration) (next time.Duration, firing []string, ok bool) {
-	if len(c.scheds) == 0 {
+	next, ok = c.PeekNext(ct)
+	if !ok {
 		return 0, nil, false
 	}
-	first := true
-	for _, n := range c.names {
-		t := c.scheds[n].NextAfter(ct)
-		if first || t < next {
+	return next, c.FiringAt(next), true
+}
+
+// PeekNext returns the earliest time strictly after ct at which any node
+// fires, without materializing the firing set. It is the allocation-free
+// deadline check for run loops that only need to know whether — not what —
+// anything fires before a deadline.
+func (c *Calendar) PeekNext(ct time.Duration) (next time.Duration, ok bool) {
+	if len(c.byName) == 0 {
+		return 0, false
+	}
+	for i, s := range c.byName {
+		t := s.NextAfter(ct)
+		if i == 0 || t < next {
 			next = t
-			first = false
 		}
 	}
-	return next, c.FiringAt(next), true
+	return next, true
 }
 
 // HyperPeriod returns the least common multiple of all periods (with phase 0

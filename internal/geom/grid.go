@@ -178,6 +178,10 @@ func (g *Grid) Index(c Cell) (int, bool) {
 	return g.index(c), true
 }
 
+// CellAt returns the cell with linear index i — the inverse of Index. The
+// index must be in [0, NumCells).
+func (g *Grid) CellAt(i int) Cell { return g.cellAt(i) }
+
 func (g *Grid) index(c Cell) int {
 	return (c.Z*g.ny+c.Y)*g.nx + c.X
 }

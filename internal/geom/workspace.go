@@ -12,6 +12,10 @@ import (
 type Workspace struct {
 	bounds    AABB
 	obstacles []AABB
+	// cache holds the lazily-built per-margin query indexes (index.go). It
+	// is internally synchronized; the Workspace itself stays immutable and
+	// safe to share across fleet workers.
+	cache indexCache
 }
 
 // NewWorkspace constructs a workspace. Obstacles are clipped conceptually to
@@ -36,6 +40,14 @@ func (w *Workspace) Obstacles() []AABB {
 	return out
 }
 
+// ObstaclesView returns the workspace's obstacle slice without copying. The
+// returned slice is shared and MUST be treated as read-only — it exists so
+// internal consumers on deterministic hot paths (planner construction,
+// canonicalization, derived workspaces) avoid the defensive copy Obstacles
+// makes per call. soter-vet's obstacleview analyzer steers those packages
+// here.
+func (w *Workspace) ObstaclesView() []AABB { return w.obstacles }
+
 // NumObstacles returns the number of obstacles.
 func (w *Workspace) NumObstacles() int { return len(w.obstacles) }
 
@@ -46,6 +58,52 @@ func (w *Workspace) InBounds(p Vec3) bool { return w.bounds.Contains(p) }
 // obstacle. This is the position-level φsafe of the paper's obstacle
 // avoidance property φobs.
 func (w *Workspace) Free(p Vec3) bool {
+	// Expand(0) is bit-identical to the raw bounds/obstacles, so the margin-0
+	// index answers exactly the unexpanded containment checks.
+	if v := w.viewFor(0); v != nil {
+		return v.Free(p)
+	}
+	return w.freeLinear(p)
+}
+
+// FreeWithMargin reports whether p keeps at least margin clearance from every
+// obstacle and from the workspace boundary. Margin is typically the drone's
+// bounding radius.
+func (w *Workspace) FreeWithMargin(p Vec3, margin float64) bool {
+	if v := w.viewFor(margin); v != nil {
+		return v.Free(p)
+	}
+	return w.freeWithMarginLinear(p, margin)
+}
+
+// BoxFree reports whether the whole box b (for example a worst-case reachable
+// set) stays inside the bounds and intersects no obstacle. When margin > 0
+// obstacles are inflated and the bounds deflated by margin first.
+func (w *Workspace) BoxFree(b AABB, margin float64) bool {
+	if v := w.viewFor(margin); v != nil {
+		return v.BoxFree(b)
+	}
+	return w.boxFreeLinear(b, margin)
+}
+
+// SegmentFree reports whether the straight segment a→b keeps at least margin
+// clearance from every obstacle and stays inside the (deflated) bounds. It is
+// the motion-plan validity check φplan: a reference trajectory between two
+// waypoints must not collide with any obstacle.
+func (w *Workspace) SegmentFree(a, b Vec3, margin float64) bool {
+	if v := w.viewFor(margin); v != nil {
+		return v.SegmentFree(a, b)
+	}
+	return w.segmentFreeLinear(a, b, margin)
+}
+
+// The linear variants below are the original O(obstacles) scans with
+// per-query Expand. They remain the semantic ground truth: the index cache
+// falls back to them beyond its margin capacity, and the differential fuzz
+// test (FuzzIndexedQueryEquivalence) pins the indexed paths to them bit for
+// bit.
+
+func (w *Workspace) freeLinear(p Vec3) bool {
 	if !w.bounds.Contains(p) {
 		return false
 	}
@@ -57,10 +115,7 @@ func (w *Workspace) Free(p Vec3) bool {
 	return true
 }
 
-// FreeWithMargin reports whether p keeps at least margin clearance from every
-// obstacle and from the workspace boundary. Margin is typically the drone's
-// bounding radius.
-func (w *Workspace) FreeWithMargin(p Vec3, margin float64) bool {
+func (w *Workspace) freeWithMarginLinear(p Vec3, margin float64) bool {
 	if !w.bounds.Expand(-margin).Contains(p) {
 		return false
 	}
@@ -72,10 +127,7 @@ func (w *Workspace) FreeWithMargin(p Vec3, margin float64) bool {
 	return true
 }
 
-// BoxFree reports whether the whole box b (for example a worst-case reachable
-// set) stays inside the bounds and intersects no obstacle. When margin > 0
-// obstacles are inflated and the bounds deflated by margin first.
-func (w *Workspace) BoxFree(b AABB, margin float64) bool {
+func (w *Workspace) boxFreeLinear(b AABB, margin float64) bool {
 	if !w.bounds.Expand(-margin).ContainsBox(b) {
 		return false
 	}
@@ -87,11 +139,7 @@ func (w *Workspace) BoxFree(b AABB, margin float64) bool {
 	return true
 }
 
-// SegmentFree reports whether the straight segment a→b keeps at least margin
-// clearance from every obstacle and stays inside the (deflated) bounds. It is
-// the motion-plan validity check φplan: a reference trajectory between two
-// waypoints must not collide with any obstacle.
-func (w *Workspace) SegmentFree(a, b Vec3, margin float64) bool {
+func (w *Workspace) segmentFreeLinear(a, b Vec3, margin float64) bool {
 	inner := w.bounds.Expand(-margin)
 	if !inner.Contains(a) || !inner.Contains(b) {
 		return false

@@ -1,0 +1,82 @@
+// Package obstacleview keeps the workspace-query hot path allocation-free.
+// geom.Workspace.Obstacles() copies the obstacle slice on every call — the
+// right contract for a public accessor, but a per-call allocation that PR 7's
+// profile showed compounding inside tick-rate loops. Deterministic packages
+// (the same set detsource guards) must read geometry through the aliasing
+// ObstaclesView() accessor — or better, through the indexed Free/BoxFree/
+// SegmentFree queries — and never through the copying form.
+//
+// Audited exceptions (a call that genuinely wants a private copy) are
+// annotated in place: //soter:obstacles-ok <reason>.
+package obstacleview
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"repro/internal/lint/detsource"
+	"repro/internal/lint/directive"
+)
+
+// Analyzer is the obstacleview analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "obstacleview",
+	Doc:  "forbid the copying Workspace.Obstacles() accessor in deterministic hot-path packages",
+	Run:  run,
+}
+
+const suppress = "obstacles-ok"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !detsource.Deterministic[detsource.PathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	idx := directive.ParseFiles(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.FileStart).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue // test code may take defensive copies freely
+		}
+		check(pass, idx, file)
+	}
+	return nil, nil
+}
+
+// check reports references to geom.Workspace's Obstacles method. References,
+// not just calls: passing ws.Obstacles as a value hands the allocating
+// accessor to the hot path all the same.
+func check(pass *analysis.Pass, idx *directive.Index, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Name() != "Obstacles" || fn.Pkg() == nil {
+			return true
+		}
+		if detsource.PathBase(fn.Pkg().Path()) != "geom" {
+			return true
+		}
+		recv := fn.Type().(*types.Signature).Recv()
+		if recv == nil || !isWorkspace(recv.Type()) {
+			return true
+		}
+		if !idx.SuppressedAt(pass, suppress, sel.Pos()) {
+			pass.ReportRangef(sel, "Workspace.Obstacles() copies the obstacle slice in deterministic package %s (use ObstaclesView or the indexed queries, or annotate //soter:obstacles-ok <reason>)", pass.Pkg.Name())
+		}
+		return true
+	})
+}
+
+// isWorkspace reports whether t is geom.Workspace, through any pointer.
+func isWorkspace(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Workspace"
+}

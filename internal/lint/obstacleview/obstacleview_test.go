@@ -1,0 +1,18 @@
+package obstacleview_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/obstacleview"
+)
+
+func TestObstacleview(t *testing.T) {
+	linttest.Run(t, obstacleview.Analyzer, "testdata/src/mission")
+}
+
+// TestIgnoresNondeterministicPackages checks the package gate: copying the
+// obstacle slice is legal outside the deterministic set.
+func TestIgnoresNondeterministicPackages(t *testing.T) {
+	linttest.Run(t, obstacleview.Analyzer, "testdata/src/tool")
+}

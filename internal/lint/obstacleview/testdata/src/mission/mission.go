@@ -1,0 +1,37 @@
+// Package mission is an obstacleview fixture: its import-path base matches a
+// deterministic package, so every copying Obstacles() access below must be
+// flagged while the aliasing view and the indexed queries stay silent.
+package mission
+
+import "repro/internal/geom"
+
+func copying(ws *geom.Workspace) []geom.AABB {
+	return ws.Obstacles() // want `Workspace.Obstacles\(\) copies the obstacle slice in deterministic package mission`
+}
+
+// Method values smuggle the same allocation: references are flagged, not
+// just calls.
+func asValue(ws *geom.Workspace) func() []geom.AABB {
+	return ws.Obstacles // want `Workspace.Obstacles\(\) copies the obstacle slice in deterministic package mission`
+}
+
+func viewing(ws *geom.Workspace) []geom.AABB {
+	return ws.ObstaclesView() // the aliasing accessor is the point of the rule
+}
+
+func indexed(ws *geom.Workspace, p geom.Vec3) bool {
+	return ws.Free(p) // indexed queries never touch the slice at all
+}
+
+func audited(ws *geom.Workspace) []geom.AABB {
+	return ws.Obstacles() //soter:obstacles-ok fixture: a mutation-bound copy, handed to caller-owned editing
+}
+
+// Obstacles on an unrelated receiver is not the workspace accessor.
+type bag struct{}
+
+func (bag) Obstacles() []geom.AABB { return nil }
+
+func unrelated(b bag) []geom.AABB {
+	return b.Obstacles()
+}

@@ -1,0 +1,10 @@
+// Package tool is the obstacleview gate fixture: its import-path base is not
+// in the deterministic set, so the copying accessor is legal here — offline
+// tooling may take defensive copies freely.
+package tool
+
+import "repro/internal/geom"
+
+func copying(ws *geom.Workspace) []geom.AABB {
+	return ws.Obstacles()
+}

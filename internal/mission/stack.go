@@ -105,6 +105,12 @@ type StackConfig struct {
 	App AppConfig
 	// Seed drives every stochastic component.
 	Seed int64
+	// FreshArtifacts disables the process-wide artifact pool, forcing this
+	// build to construct its analyzers, grids and planners from scratch.
+	// Pooled and fresh builds are behaviourally identical (the fleet
+	// determinism tests hold them byte-for-byte equal); the pool only saves
+	// the rebuild cost of back-to-back missions over the same geometry.
+	FreshArtifacts bool
 }
 
 // DefaultStackConfig returns the configuration used throughout the
@@ -153,7 +159,7 @@ type Stack struct {
 func AnalysisWorkspace(ws *geom.Workspace) (*geom.Workspace, error) {
 	b := ws.Bounds()
 	b.Min.Z -= 0.25
-	return geom.NewWorkspace(b, ws.Obstacles())
+	return geom.NewWorkspace(b, ws.ObstaclesView())
 }
 
 // LandingWorkspace derives the workspace used by the motion module while a
@@ -164,7 +170,7 @@ func AnalysisWorkspace(ws *geom.Workspace) (*geom.Workspace, error) {
 func LandingWorkspace(ws *geom.Workspace) (*geom.Workspace, error) {
 	b := ws.Bounds()
 	b.Min.Z -= 8
-	return geom.NewWorkspace(b, ws.Obstacles())
+	return geom.NewWorkspace(b, ws.ObstaclesView())
 }
 
 // Build assembles the stack.
@@ -205,22 +211,38 @@ func Build(cfg StackConfig) (*Stack, error) {
 		// fraction of a braking maneuver; see plant.Params.LagTau.
 		BrakeDecel: 0.8 * cfg.PlantParams.MaxAccel,
 	}
-	aws, err := AnalysisWorkspace(cfg.Workspace)
-	if err != nil {
-		return nil, fmt.Errorf("stack: analysis workspace: %w", err)
+	// Planners aim for more clearance than the safety margin: a reference
+	// path that hugs obstacles at exactly the margin keeps the drone inside
+	// the DM's switching band, forcing needless disengagements. The safety
+	// checks (module predicates, φplan validation) still use cfg.Margin.
+	planMargin := cfg.PlanMargin
+	if planMargin <= 0 {
+		planMargin = cfg.Margin + 0.8
 	}
-	analyzer, err := reach.NewAnalyzer(aws, bounds, cfg.Margin, cfg.MotionDelta, cfg.Hysteresis)
-	if err != nil {
-		return nil, fmt.Errorf("stack: analyzer: %w", err)
+
+	// Seed-independent artifacts (derived workspaces, analyzers, the
+	// certified A* grid) are pure functions of geometry and safety
+	// parameters, so sweep missions share one pooled set instead of
+	// rebuilding per mission. On a hit the canonical workspace instance also
+	// replaces cfg.Workspace, so every mission reuses its query indexes.
+	key := artifactKeyFor(cfg.Workspace, bounds, cfg.Margin, cfg.Hysteresis, planMargin, cfg.MotionDelta)
+	var arts *artifacts
+	if !cfg.FreshArtifacts {
+		arts = sharedArtifacts.get(key, cfg.Workspace)
 	}
-	lws, err := LandingWorkspace(cfg.Workspace)
-	if err != nil {
-		return nil, fmt.Errorf("stack: landing workspace: %w", err)
+	if arts == nil {
+		var err error
+		arts, err = buildArtifacts(cfg.Workspace, bounds, cfg.Margin, cfg.Hysteresis, planMargin, cfg.MotionDelta)
+		if err != nil {
+			return nil, fmt.Errorf("stack: %w", err)
+		}
+		if !cfg.FreshArtifacts {
+			sharedArtifacts.put(key, arts)
+		}
 	}
-	landingAnalyzer, err := reach.NewAnalyzer(lws, bounds, cfg.Margin, cfg.MotionDelta, cfg.Hysteresis)
-	if err != nil {
-		return nil, fmt.Errorf("stack: landing analyzer: %w", err)
-	}
+	cfg.Workspace = arts.ws
+	analyzer := arts.analyzer
+	landingAnalyzer := arts.landingAnalyzer
 
 	st := &Stack{Analyzer: analyzer, Config: cfg}
 	var modules []*rta.Module
@@ -245,22 +267,11 @@ func Build(cfg StackConfig) (*Stack, error) {
 	plain = append(plain, appNode)
 
 	// --- Motion planner layer ----------------------------------------------
-	// Planners aim for more clearance than the safety margin: a reference
-	// path that hugs obstacles at exactly the margin keeps the drone inside
-	// the DM's switching band, forcing needless disengagements. The safety
-	// checks (module predicates, φplan validation) still use cfg.Margin.
-	planMargin := cfg.PlanMargin
-	if planMargin <= 0 {
-		planMargin = cfg.Margin + 0.8
-	}
 	rrt, err := plan.NewRRTStar(cfg.Workspace, rrtConfig(cfg, planMargin))
 	if err != nil {
 		return nil, fmt.Errorf("stack: %w", err)
 	}
-	astar, err := plan.NewAStar(cfg.Workspace, 1.0, planMargin)
-	if err != nil {
-		return nil, fmt.Errorf("stack: %w", err)
-	}
+	astar := arts.astar
 	if cfg.WithPlannerModule {
 		acPlanner, err := NewPlannerNode(PlannerConfig{
 			Name:    "planner.ac",

@@ -133,16 +133,7 @@ func (s *MetricsSink) OnEvent(e Event) {
 	case InvariantViolation:
 		s.m.InvariantViolations++
 	case TrajectorySample:
-		if s.havePos {
-			s.m.DistanceFlown += ev.Pos.Dist(s.lastPos)
-		}
-		s.lastPos = ev.Pos
-		s.havePos = true
-		if s.ws != nil && !ev.Landed {
-			if c := s.ws.Clearance(ev.Pos); s.m.MinClearance == 0 || c < s.m.MinClearance {
-				s.m.MinClearance = c
-			}
-		}
+		s.OnTrajectorySample(ev)
 	case Crash:
 		s.m.Collisions++
 		if !s.m.Crashed {
@@ -163,6 +154,22 @@ func (s *MetricsSink) OnEvent(e Event) {
 			s.accountMode(name, since, ev.T, s.modeNow[name])
 		}
 		s.ended = true
+	}
+}
+
+// OnTrajectorySample implements TrajectoryObserver — the unboxed entry point
+// for the per-sub-step sample stream. OnEvent routes here, so either path
+// yields identical metrics.
+func (s *MetricsSink) OnTrajectorySample(ev TrajectorySample) {
+	if s.havePos {
+		s.m.DistanceFlown += ev.Pos.Dist(s.lastPos)
+	}
+	s.lastPos = ev.Pos
+	s.havePos = true
+	if s.ws != nil && !ev.Landed {
+		if c := s.ws.Clearance(ev.Pos); s.m.MinClearance == 0 || c < s.m.MinClearance {
+			s.m.MinClearance = c
+		}
 	}
 }
 

@@ -81,3 +81,40 @@ func Emit(list []Observer, e Event) {
 		o.OnEvent(e)
 	}
 }
+
+// TrajectoryObserver is the typed fast path for the stream's highest-volume
+// kind: delivering a TrajectorySample through OnEvent boxes the sample into
+// the Event interface on every physics sub-step, while OnTrajectorySample
+// passes it by value. Implementations must treat both entry points
+// identically; emitters may use either.
+type TrajectoryObserver interface {
+	Observer
+	OnTrajectorySample(TrajectorySample)
+}
+
+// TrajectoryObservers converts a KindTrajectorySample dispatch list to its
+// typed form. It returns nil unless EVERY member implements
+// TrajectoryObserver — mixing entry points within one instant would reorder
+// deliveries relative to attachment order, so emitters fall back to the
+// boxed path for the whole list when any member lacks the typed one.
+func TrajectoryObservers(list []Observer) []TrajectoryObserver {
+	if len(list) == 0 {
+		return nil
+	}
+	typed := make([]TrajectoryObserver, len(list))
+	for i, o := range list {
+		to, ok := o.(TrajectoryObserver)
+		if !ok {
+			return nil
+		}
+		typed[i] = to
+	}
+	return typed
+}
+
+// EmitTrajectory delivers a sample through the typed path, in list order.
+func EmitTrajectory(list []TrajectoryObserver, s TrajectorySample) {
+	for _, o := range list {
+		o.OnTrajectorySample(s)
+	}
+}

@@ -1,7 +1,6 @@
 package plan
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 
@@ -12,6 +11,9 @@ import (
 // grid with inflated obstacles, followed by margin-checked shortcut
 // smoothing and a final validation pass. Its output is safe by construction:
 // every returned plan passes Validate, or an error is returned.
+//
+// AStar carries no mutable state between Plan calls, so one instance may be
+// shared across fleet workers (the mission artifact pool relies on this).
 type AStar struct {
 	ws     *geom.Workspace
 	grid   *geom.Grid
@@ -32,26 +34,60 @@ func NewAStar(ws *geom.Workspace, res, margin float64) (*AStar, error) {
 	return &AStar{ws: ws, grid: grid, margin: margin}, nil
 }
 
+// asItem is an open-list entry: a cell's linear grid index and its f-score.
 type asItem struct {
-	cell geom.Cell
-	f    float64
+	ci int32
+	f  float64
 }
 
+// asHeap is a binary min-heap on f that replicates container/heap's sift
+// algorithms exactly — strict Less, right child preferred only on a strict
+// win, Pop swapping root with the last element before sifting down — so the
+// pop order (and therefore every A* tie-break) is bit-identical to the
+// previous container/heap implementation while staying flat and unboxed.
 type asHeap []asItem
 
-func (h asHeap) Len() int           { return len(h) }
-func (h asHeap) Less(i, j int) bool { return h[i].f < h[j].f }
-func (h asHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *asHeap) Push(x any)        { *h = append(*h, x.(asItem)) }
-func (h *asHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+func (h *asHeap) push(it asItem) {
+	s := append(*h, it)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].f < s[i].f) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
+
+func (h *asHeap) pop() asItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].f < s[j1].f {
+			j = j2
+		}
+		if !(s[j].f < s[i].f) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
 	return it
 }
 
-// Plan implements Planner.
+// Plan implements Planner. The search runs over flat arrays indexed by the
+// grid's linear cell index — no per-node map or interface allocations.
 func (a *AStar) Plan(start, goal geom.Vec3) (Plan, error) {
 	sc, err := a.nearestFreeCell(start)
 	if err != nil {
@@ -62,51 +98,58 @@ func (a *AStar) Plan(start, goal geom.Vec3) (Plan, error) {
 		return nil, fmt.Errorf("astar goal %v: %w", goal, err)
 	}
 
-	gScore := make(map[geom.Cell]float64)
-	cameFrom := make(map[geom.Cell]geom.Cell)
-	closed := make(map[geom.Cell]bool)
+	n := a.grid.NumCells()
+	gScore := make([]float64, n)
+	for i := range gScore {
+		gScore[i] = math.Inf(1)
+	}
+	cameFrom := make([]int32, n)
+	for i := range cameFrom {
+		cameFrom[i] = -1
+	}
+	closed := make([]bool, n)
 	goalP := a.grid.CellCenter(gc)
 
 	h := func(c geom.Cell) float64 { return a.grid.CellCenter(c).Dist(goalP) }
-	open := &asHeap{{cell: sc, f: h(sc)}}
-	gScore[sc] = 0
+	si, _ := a.grid.Index(sc)
+	gi, _ := a.grid.Index(gc)
+	open := make(asHeap, 0, 1024)
+	open.push(asItem{ci: int32(si), f: h(sc)})
+	gScore[si] = 0
 
 	var nbuf []geom.Cell
-	for open.Len() > 0 {
-		cur := heap.Pop(open).(asItem).cell
-		if closed[cur] {
+	for len(open) > 0 {
+		ci := int(open.pop().ci)
+		if closed[ci] {
 			continue
 		}
-		if cur == gc {
-			return a.reconstruct(cameFrom, cur, start, goal)
+		if ci == gi {
+			return a.reconstruct(cameFrom, ci, start, goal)
 		}
-		closed[cur] = true
+		closed[ci] = true
+		cur := a.grid.CellAt(ci)
 		curP := a.grid.CellCenter(cur)
 		nbuf = a.grid.Neighbors26(cur, nbuf[:0])
-		for _, n := range nbuf {
-			if a.grid.Occupied(n) || closed[n] {
+		for _, nb := range nbuf {
+			ni, _ := a.grid.Index(nb)
+			if a.grid.Occupied(nb) || closed[ni] {
 				continue
 			}
-			tentative := gScore[cur] + curP.Dist(a.grid.CellCenter(n))
-			if old, seen := gScore[n]; !seen || tentative < old {
-				gScore[n] = tentative
-				cameFrom[n] = cur
-				heap.Push(open, asItem{cell: n, f: tentative + h(n)})
+			tentative := gScore[ci] + curP.Dist(a.grid.CellCenter(nb))
+			if tentative < gScore[ni] {
+				gScore[ni] = tentative
+				cameFrom[ni] = int32(ci)
+				open.push(asItem{ci: int32(ni), f: tentative + h(nb)})
 			}
 		}
 	}
 	return nil, fmt.Errorf("astar %v → %v: %w", start, goal, ErrNoPath)
 }
 
-func (a *AStar) reconstruct(cameFrom map[geom.Cell]geom.Cell, cur geom.Cell, start, goal geom.Vec3) (Plan, error) {
+func (a *AStar) reconstruct(cameFrom []int32, cur int, start, goal geom.Vec3) (Plan, error) {
 	var rev []geom.Vec3
-	for {
-		rev = append(rev, a.grid.CellCenter(cur))
-		prev, ok := cameFrom[cur]
-		if !ok {
-			break
-		}
-		cur = prev
+	for ci := cur; ci >= 0; ci = int(cameFrom[ci]) {
+		rev = append(rev, a.grid.CellCenter(a.grid.CellAt(ci)))
 	}
 	p := make(Plan, 0, len(rev)+2)
 	p = append(p, start)

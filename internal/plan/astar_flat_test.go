@@ -1,0 +1,159 @@
+package plan
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// refItem/refHeap are the pre-flat A* open list (container/heap over boxed
+// items), kept verbatim as the tie-break reference.
+type refItem struct {
+	cell geom.Cell
+	f    float64
+}
+
+type refHeap []refItem
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return h[i].f < h[j].f }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(refItem)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// refPlan is the original map-based A* search, reproduced verbatim so the
+// flat-array rewrite can be held to its exact output — including every
+// f-score tie-break, which the hand-rolled heap must replicate.
+func refPlan(a *AStar, start, goal geom.Vec3) (Plan, error) {
+	sc, err := a.nearestFreeCell(start)
+	if err != nil {
+		return nil, err
+	}
+	gc, err := a.nearestFreeCell(goal)
+	if err != nil {
+		return nil, err
+	}
+	gScore := make(map[geom.Cell]float64)
+	cameFrom := make(map[geom.Cell]geom.Cell)
+	closed := make(map[geom.Cell]bool)
+	goalP := a.grid.CellCenter(gc)
+	h := func(c geom.Cell) float64 { return a.grid.CellCenter(c).Dist(goalP) }
+	open := &refHeap{{cell: sc, f: h(sc)}}
+	gScore[sc] = 0
+	var nbuf []geom.Cell
+	for open.Len() > 0 {
+		cur := heap.Pop(open).(refItem).cell
+		if closed[cur] {
+			continue
+		}
+		if cur == gc {
+			var rev []geom.Vec3
+			for {
+				rev = append(rev, a.grid.CellCenter(cur))
+				prev, ok := cameFrom[cur]
+				if !ok {
+					break
+				}
+				cur = prev
+			}
+			p := make(Plan, 0, len(rev)+2)
+			p = append(p, start)
+			for i := len(rev) - 1; i >= 0; i-- {
+				p = append(p, rev[i])
+			}
+			p = append(p, goal)
+			p = Shortcut(p, a.ws, a.margin)
+			if err := Validate(p, a.ws, a.margin, start, goal, 1e-6); err != nil {
+				return nil, err
+			}
+			return p, nil
+		}
+		closed[cur] = true
+		curP := a.grid.CellCenter(cur)
+		nbuf = a.grid.Neighbors26(cur, nbuf[:0])
+		for _, n := range nbuf {
+			if a.grid.Occupied(n) || closed[n] {
+				continue
+			}
+			tentative := gScore[cur] + curP.Dist(a.grid.CellCenter(n))
+			if old, seen := gScore[n]; !seen || tentative < old {
+				gScore[n] = tentative
+				cameFrom[n] = cur
+				heap.Push(open, refItem{cell: n, f: tentative + h(n)})
+			}
+		}
+	}
+	return nil, ErrNoPath
+}
+
+// TestAStarFlatMatchesReference runs the flat-array planner and the original
+// map-based search over random endpoint pairs in every factory workspace and
+// requires waypoint-identical plans.
+func TestAStarFlatMatchesReference(t *testing.T) {
+	workspaces := []*geom.Workspace{
+		geom.CityWorkspace(),
+		geom.CanyonWorkspace(),
+		geom.CornerHazardWorkspace(),
+	}
+	rng := rand.New(rand.NewSource(31))
+	for _, ws := range workspaces {
+		a, err := NewAStar(ws, 1.0, 0.45)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := ws.Bounds()
+		size := b.Size()
+		for trial := 0; trial < 12; trial++ {
+			start := geom.V(
+				b.Min.X+rng.Float64()*size.X,
+				b.Min.Y+rng.Float64()*size.Y,
+				b.Min.Z+0.5+rng.Float64()*(size.Z-1),
+			)
+			goal := geom.V(
+				b.Min.X+rng.Float64()*size.X,
+				b.Min.Y+rng.Float64()*size.Y,
+				b.Min.Z+0.5+rng.Float64()*(size.Z-1),
+			)
+			got, errG := a.Plan(start, goal)
+			want, errW := refPlan(a, start, goal)
+			if (errG == nil) != (errW == nil) {
+				t.Fatalf("%v → %v: flat err %v, reference err %v", start, goal, errG, errW)
+			}
+			if errG != nil {
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v → %v: flat plan %v, reference %v", start, goal, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%v → %v: waypoint %d differs: %v vs %v", start, goal, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAStarPlan(b *testing.B) {
+	ws := geom.CityWorkspace()
+	a, err := NewAStar(ws, 1.0, 0.45)
+	if err != nil {
+		b.Fatal(err)
+	}
+	start, goal := geom.V(2, 2, 2), geom.V(46, 46, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Plan(start, goal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

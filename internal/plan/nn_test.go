@@ -1,0 +1,113 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestNNGridMatchesLinear grows a random node cloud the way Plan does —
+// inserting into the grid as it appends — and checks nearest/near against
+// the reference linear scans at every step, including duplicate positions
+// (index tie-breaks) and out-of-bounds points (clamped cells).
+func TestNNGridMatchesLinear(t *testing.T) {
+	ws := geom.CityWorkspace()
+	r, err := NewRRTStar(ws, DefaultRRTStarConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := ws.Bounds()
+	size := bounds.Size()
+	rng := rand.New(rand.NewSource(23))
+	r.nn.reset(bounds, r.cfg.NeighborRadius)
+	var nodes []rrtNode
+	randPt := func(slack float64) geom.Vec3 {
+		return geom.V(
+			bounds.Min.X-slack+rng.Float64()*(size.X+2*slack),
+			bounds.Min.Y-slack+rng.Float64()*(size.Y+2*slack),
+			bounds.Min.Z-slack+rng.Float64()*(size.Z+2*slack),
+		)
+	}
+	for i := 0; i < 600; i++ {
+		var p geom.Vec3
+		switch {
+		case i > 0 && i%17 == 0:
+			p = nodes[rng.Intn(len(nodes))].pos // exact duplicate: tie-break case
+		case i%29 == 0:
+			p = randPt(5) // out of bounds: clamped-cell case
+		default:
+			p = randPt(0)
+		}
+		nodes = append(nodes, rrtNode{pos: p, parent: -1})
+		r.nn.insert(len(nodes)-1, p)
+
+		q := randPt(3)
+		if got, want := r.nearest(nodes, q), r.nearestLinear(nodes, q); got != want {
+			t.Fatalf("step %d: nearest(%v) = %d, linear = %d", i, q, got, want)
+		}
+		got := r.near(nodes, q)
+		want := r.nearLinear(nodes, q)
+		if len(got) != len(want) {
+			t.Fatalf("step %d: near(%v) = %v, linear = %v", i, q, got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("step %d: near(%v)[%d] = %d, linear = %d", i, q, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestRRTStarScratchReuseDeterministic replans with one planner instance and
+// compares against a fresh instance per call: scratch reuse must not change
+// any output.
+func TestRRTStarScratchReuseDeterministic(t *testing.T) {
+	ws := geom.CityWorkspace()
+	start, goal := geom.V(2, 2, 2), geom.V(46, 46, 9)
+	reused, err := NewRRTStar(ws, DefaultRRTStarConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 3; trial++ {
+		fresh, err := NewRRTStar(ws, DefaultRRTStarConfig(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Advance the fresh planner's rng to the same trial point.
+		for i := 0; i < trial; i++ {
+			if _, err := fresh.Plan(start, goal); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pr, errR := reused.Plan(start, goal)
+		pf, errF := fresh.Plan(start, goal)
+		if (errR == nil) != (errF == nil) {
+			t.Fatalf("trial %d: reused err %v, fresh err %v", trial, errR, errF)
+		}
+		if len(pr) != len(pf) {
+			t.Fatalf("trial %d: plan lengths %d vs %d", trial, len(pr), len(pf))
+		}
+		for i := range pr {
+			if pr[i] != pf[i] {
+				t.Fatalf("trial %d: plan[%d] = %v vs %v", trial, i, pr[i], pf[i])
+			}
+		}
+	}
+}
+
+func BenchmarkRRTStarPlan(b *testing.B) {
+	ws := geom.CityWorkspace()
+	start, goal := geom.V(2, 2, 2), geom.V(46, 46, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewRRTStar(ws, DefaultRRTStarConfig(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Plan(start, goal); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/geom"
 )
@@ -88,10 +89,17 @@ func DefaultRRTStarConfig(seed int64) RRTStarConfig {
 // the untrusted advanced planner of the Section V-C experiment.
 type RRTStar struct {
 	ws  *geom.Workspace
+	idx *geom.Index // margin-resolved query index over ws
 	cfg RRTStarConfig
 	rng *rand.Rand
 	// staleObs is the shrunken obstacle set used by BugStaleObstacles.
-	staleWS *geom.Workspace
+	staleWS  *geom.Workspace
+	staleIdx *geom.Index
+
+	// Per-planner scratch reused across Plan calls (a planner instance is
+	// driven sequentially by its mission stack, never concurrently).
+	nodes []rrtNode
+	nn    nnGrid
 }
 
 var _ Planner = (*RRTStar)(nil)
@@ -104,9 +112,14 @@ func NewRRTStar(ws *geom.Workspace, cfg RRTStarConfig) (*RRTStar, error) {
 	if cfg.GoalTolerance <= 0 {
 		return nil, fmt.Errorf("rrtstar: GoalTolerance must be positive")
 	}
-	r := &RRTStar{ws: ws, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	r := &RRTStar{
+		ws:  ws,
+		idx: ws.IndexFor(cfg.Margin),
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
 	if cfg.Bug == BugStaleObstacles {
-		obs := ws.Obstacles()
+		obs := ws.ObstaclesView()
 		shrunk := make([]geom.AABB, len(obs))
 		for i, o := range obs {
 			shrunk[i] = o.Expand(-1.2) // stale map: obstacles 1.2 m smaller
@@ -116,6 +129,7 @@ func NewRRTStar(ws *geom.Workspace, cfg RRTStarConfig) (*RRTStar, error) {
 			return nil, fmt.Errorf("rrtstar stale workspace: %w", err)
 		}
 		r.staleWS = staleWS
+		r.staleIdx = staleWS.IndexFor(cfg.Margin)
 	}
 	return r, nil
 }
@@ -130,10 +144,12 @@ type rrtNode struct {
 // clearance margin (it is validated); with a bug injected the result may
 // collide — by design, to exercise the RTA protection.
 func (r *RRTStar) Plan(start, goal geom.Vec3) (Plan, error) {
-	nodes := []rrtNode{{pos: start, parent: -1}}
+	bounds := r.ws.Bounds()
+	nodes := append(r.nodes[:0], rrtNode{pos: start, parent: -1})
+	r.nn.reset(bounds, r.cfg.NeighborRadius)
+	r.nn.insert(0, start)
 	bestGoal := -1
 	bestCost := math.Inf(1)
-	bounds := r.ws.Bounds()
 	size := bounds.Size()
 
 	for it := 0; it < r.cfg.MaxIters; it++ {
@@ -167,6 +183,7 @@ func (r *RRTStar) Plan(start, goal geom.Vec3) (Plan, error) {
 		}
 		nodes = append(nodes, rrtNode{pos: newPos, parent: parent, cost: cost})
 		newIdx := len(nodes) - 1
+		r.nn.insert(newIdx, newPos)
 		// Rewire neighbours through the new node when cheaper.
 		for _, n := range neighbors {
 			c := cost + newPos.Dist(nodes[n].pos)
@@ -182,6 +199,7 @@ func (r *RRTStar) Plan(start, goal geom.Vec3) (Plan, error) {
 			}
 		}
 	}
+	r.nodes = nodes // keep the backing array for the next Plan call
 	if bestGoal < 0 {
 		return nil, fmt.Errorf("rrtstar %v → %v after %d iters: %w", start, goal, r.cfg.MaxIters, ErrNoPath)
 	}
@@ -204,7 +222,95 @@ func (r *RRTStar) Plan(start, goal geom.Vec3) (Plan, error) {
 	return p, nil
 }
 
+// nearest returns the index of the node closest to p — the lexicographic
+// (distance, index) minimum, exactly as the reference linear scan computes it
+// — via expanding Chebyshev shells over the NN grid.
 func (r *RRTStar) nearest(nodes []rrtNode, p geom.Vec3) int {
+	g := &r.nn
+	cqx := g.axisOf(p.X, g.origin.X, g.nx)
+	cqy := g.axisOf(p.Y, g.origin.Y, g.ny)
+	cqz := g.axisOf(p.Z, g.origin.Z, g.nz)
+	best, bestD := 0, math.Inf(1)
+	maxRing := g.nx
+	if g.ny > maxRing {
+		maxRing = g.ny
+	}
+	if g.nz > maxRing {
+		maxRing = g.nz
+	}
+	for ring := 0; ring <= maxRing; ring++ {
+		// Any node in ring r is at least (r-1)·cell away; once that exceeds
+		// bestD (with one cell of float slack) no farther ring can win or tie.
+		if !math.IsInf(bestD, 1) && float64(ring-1)*g.cell > bestD+g.cell {
+			break
+		}
+		for dz := -ring; dz <= ring; dz++ {
+			cz := cqz + dz
+			if cz < 0 || cz >= g.nz {
+				continue
+			}
+			for dy := -ring; dy <= ring; dy++ {
+				cy := cqy + dy
+				if cy < 0 || cy >= g.ny {
+					continue
+				}
+				for dx := -ring; dx <= ring; dx++ {
+					// Shell only: skip cells interior to the previous ring.
+					if dx > -ring && dx < ring && dy > -ring && dy < ring && dz > -ring && dz < ring {
+						continue
+					}
+					cx := cqx + dx
+					if cx < 0 || cx >= g.nx {
+						continue
+					}
+					for _, ni := range g.buckets[(cz*g.ny+cy)*g.nx+cx] {
+						i := int(ni)
+						d := nodes[i].pos.Dist(p)
+						if d < bestD || (d == bestD && i < best) {
+							best, bestD = i, d
+						}
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+// near returns the indices of all nodes within NeighborRadius of p in
+// ascending order, exactly as the reference linear scan returns them. The
+// returned slice is planner scratch, valid until the next near call.
+func (r *RRTStar) near(nodes []rrtNode, p geom.Vec3) []int {
+	g := &r.nn
+	rad := r.cfg.NeighborRadius
+	lox := g.axisOf(p.X-rad, g.origin.X, g.nx)
+	hix := g.axisOf(p.X+rad, g.origin.X, g.nx)
+	loy := g.axisOf(p.Y-rad, g.origin.Y, g.ny)
+	hiy := g.axisOf(p.Y+rad, g.origin.Y, g.ny)
+	loz := g.axisOf(p.Z-rad, g.origin.Z, g.nz)
+	hiz := g.axisOf(p.Z+rad, g.origin.Z, g.nz)
+	out := g.nearBuf[:0]
+	for cz := loz; cz <= hiz; cz++ {
+		for cy := loy; cy <= hiy; cy++ {
+			base := (cz*g.ny + cy) * g.nx
+			for cx := lox; cx <= hix; cx++ {
+				for _, ni := range g.buckets[base+cx] {
+					i := int(ni)
+					if nodes[i].pos.Dist(p) <= rad {
+						out = append(out, i)
+					}
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	g.nearBuf = out
+	return out
+}
+
+// nearestLinear is the reference O(n) nearest kept as differential-test
+// ground truth for the grid implementation.
+func (r *RRTStar) nearestLinear(nodes []rrtNode, p geom.Vec3) int {
 	best, bestD := 0, math.Inf(1)
 	for i, n := range nodes {
 		if d := n.pos.Dist(p); d < bestD {
@@ -214,7 +320,9 @@ func (r *RRTStar) nearest(nodes []rrtNode, p geom.Vec3) int {
 	return best
 }
 
-func (r *RRTStar) near(nodes []rrtNode, p geom.Vec3) []int {
+// nearLinear is the reference O(n) radius query kept as differential-test
+// ground truth for the grid implementation.
+func (r *RRTStar) nearLinear(nodes []rrtNode, p geom.Vec3) []int {
 	var out []int
 	for i, n := range nodes {
 		if n.pos.Dist(p) <= r.cfg.NeighborRadius {
@@ -222,6 +330,71 @@ func (r *RRTStar) near(nodes []rrtNode, p geom.Vec3) []int {
 		}
 	}
 	return out
+}
+
+// nnGrid is a uniform-grid point index over tree nodes with cell edge equal
+// to the rewiring radius: near() inspects at most 3 cells per axis and
+// nearest() nearly always terminates in the first shell. Buckets are reused
+// across Plan calls.
+type nnGrid struct {
+	origin     geom.Vec3
+	cell       float64
+	nx, ny, nz int
+	buckets    [][]int32
+	nearBuf    []int
+}
+
+func (g *nnGrid) reset(bounds geom.AABB, cell float64) {
+	size := bounds.Size()
+	g.origin = bounds.Min
+	g.cell = cell
+	g.nx = gridAxisCells(size.X, cell)
+	g.ny = gridAxisCells(size.Y, cell)
+	g.nz = gridAxisCells(size.Z, cell)
+	n := g.nx * g.ny * g.nz
+	if cap(g.buckets) < n {
+		g.buckets = make([][]int32, n)
+	}
+	g.buckets = g.buckets[:n]
+	for i := range g.buckets {
+		g.buckets[i] = g.buckets[i][:0]
+	}
+}
+
+func gridAxisCells(extent, cell float64) int {
+	if !(extent > 0) || !(cell > 0) {
+		return 1
+	}
+	n := int(math.Ceil(extent / cell))
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// axisOf maps a coordinate to its clamped cell index; out-of-bounds
+// coordinates land in edge cells on both insert and query, which keeps the
+// grid exhaustive (and hence the queries exact) for any point.
+func (g *nnGrid) axisOf(v, origin float64, n int) int {
+	if g.cell <= 0 || n <= 1 {
+		return 0
+	}
+	f := math.Floor((v - origin) / g.cell)
+	if f > 0 {
+		if f >= float64(n-1) {
+			return n - 1
+		}
+		return int(f)
+	}
+	return 0
+}
+
+func (g *nnGrid) insert(idx int, p geom.Vec3) {
+	cx := g.axisOf(p.X, g.origin.X, g.nx)
+	cy := g.axisOf(p.Y, g.origin.Y, g.ny)
+	cz := g.axisOf(p.Z, g.origin.Z, g.nz)
+	ci := (cz*g.ny+cy)*g.nx + cx
+	g.buckets[ci] = append(g.buckets[ci], int32(idx))
 }
 
 func (r *RRTStar) steer(from, to geom.Vec3) geom.Vec3 {
@@ -234,9 +407,9 @@ func (r *RRTStar) steer(from, to geom.Vec3) geom.Vec3 {
 
 func (r *RRTStar) pointFree(p geom.Vec3) bool {
 	if r.cfg.Bug == BugStaleObstacles {
-		return r.staleWS.FreeWithMargin(p, r.cfg.Margin)
+		return r.staleIdx.Free(p)
 	}
-	return r.ws.FreeWithMargin(p, r.cfg.Margin)
+	return r.idx.Free(p)
 }
 
 func (r *RRTStar) edgeFree(a, b geom.Vec3) bool {
@@ -244,9 +417,9 @@ func (r *RRTStar) edgeFree(a, b geom.Vec3) bool {
 		return true // the bug: extension accepted without checking
 	}
 	if r.cfg.Bug == BugStaleObstacles {
-		return r.staleWS.SegmentFree(a, b, r.cfg.Margin)
+		return r.staleIdx.SegmentFree(a, b)
 	}
-	return r.ws.SegmentFree(a, b, r.cfg.Margin)
+	return r.idx.SegmentFree(a, b)
 }
 
 // uncheckedShortcut aggressively straightens the path without collision

@@ -1,0 +1,79 @@
+package reach
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+)
+
+func perfAnalyzer(tb testing.TB) *Analyzer {
+	tb.Helper()
+	ws := geom.CityWorkspace()
+	b := Bounds{MaxAccel: 4.0, MaxVel: 6.0, BrakeDecel: 3.2}
+	a, err := NewAnalyzer(ws, b, 0.45, 50*time.Millisecond, 1.3)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return a
+}
+
+// TestAnalyzerChecksAllocFree pins the DM-rate hot path: once the analyzer
+// holds its resolved index, ttf2Δ / φsafe / φsafer checks must not allocate.
+func TestAnalyzerChecksAllocFree(t *testing.T) {
+	a := perfAnalyzer(t)
+	pos, vel := geom.V(17.5, 17.0, 1.2), geom.V(2.0, -1.5, 0.3)
+	sink := false
+	allocs := testing.AllocsPerRun(200, func() {
+		sink = a.Safe(pos, vel) || sink
+		sink = a.TTF2Delta(pos, vel) || sink
+		sink = a.InSafer(pos, vel) || sink
+	})
+	_ = sink
+	if allocs != 0 {
+		t.Fatalf("analyzer checks allocate %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestAnalyzerMatchesLinearWorkspace re-derives every check from the
+// workspace's linear-scan API and requires agreement over a position sweep,
+// holding the index-backed analyzer to the pre-index semantics.
+func TestAnalyzerMatchesLinearWorkspace(t *testing.T) {
+	a := perfAnalyzer(t)
+	ws := a.Workspace()
+	for xi := 0; xi < 50; xi++ {
+		for yi := 0; yi < 50; yi++ {
+			pos := geom.V(float64(xi)+0.5, float64(yi)+0.5, 1.2)
+			vel := geom.V(float64(xi%7)-3, float64(yi%5)-2, 0.4)
+			if got, want := a.Safe(pos, vel), ws.BoxFree(BrakeBox(pos, vel, a.Bounds()), a.Margin()); got != want {
+				t.Fatalf("Safe(%v, %v) = %v, workspace says %v", pos, vel, got, want)
+			}
+			if got, want := a.TTF2Delta(pos, vel), !ws.BoxFree(StopBox(pos, vel, a.Bounds(), 2*a.Delta()), a.Margin()); got != want {
+				t.Fatalf("TTF2Delta(%v, %v) = %v, workspace says %v", pos, vel, got, want)
+			}
+			if got, want := a.InSafer(pos, vel), ws.BoxFree(StopBox(pos, vel, a.Bounds(), a.SaferHorizon()), a.Margin()); got != want {
+				t.Fatalf("InSafer(%v, %v) = %v, workspace says %v", pos, vel, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkAnalyzerTTF2Delta(b *testing.B) {
+	a := perfAnalyzer(b)
+	pos, vel := geom.V(17.5, 17.0, 1.2), geom.V(2.0, -1.5, 0.3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.TTF2Delta(pos, vel)
+	}
+}
+
+func BenchmarkAnalyzerClassify(b *testing.B) {
+	a := perfAnalyzer(b)
+	pos, vel := geom.V(30.0, 24.0, 2.0), geom.V(-1.0, 2.0, 0.0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Classify(pos, vel)
+	}
+}

@@ -162,10 +162,12 @@ func StopBox(pos, vel geom.Vec3, b Bounds, t time.Duration) geom.AABB {
 // (AC→SC), the φsafer return condition (SC→AC), and the φsafe monitor.
 type Analyzer struct {
 	ws     *geom.Workspace
+	idx    *geom.Index // margin-resolved query index, built once
 	bounds Bounds
 	margin float64       // drone bounding radius
 	delta  time.Duration // Δ, the DM period
 	hyst   float64       // φsafer horizon multiplier (≥ 1): h = hyst · 2Δ
+	saferH time.Duration // hyst · 2Δ, precomputed
 }
 
 // NewAnalyzer constructs the analyzer. margin is the drone's bounding radius
@@ -188,7 +190,15 @@ func NewAnalyzer(ws *geom.Workspace, b Bounds, margin float64, delta time.Durati
 	if hysteresis < 1 {
 		return nil, fmt.Errorf("hysteresis %v must be ≥ 1", hysteresis)
 	}
-	return &Analyzer{ws: ws, bounds: b, margin: margin, delta: delta, hyst: hysteresis}, nil
+	return &Analyzer{
+		ws:     ws,
+		idx:    ws.IndexFor(margin),
+		bounds: b,
+		margin: margin,
+		delta:  delta,
+		hyst:   hysteresis,
+		saferH: time.Duration(float64(2*delta) * hysteresis),
+	}, nil
 }
 
 // Workspace returns the analyzer's workspace.
@@ -204,22 +214,20 @@ func (a *Analyzer) Delta() time.Duration { return a.delta }
 func (a *Analyzer) Margin() float64 { return a.margin }
 
 // SaferHorizon returns the φsafer stop-box horizon h = hysteresis · 2Δ.
-func (a *Analyzer) SaferHorizon() time.Duration {
-	return time.Duration(float64(2*a.delta) * a.hyst)
-}
+func (a *Analyzer) SaferHorizon() time.Duration { return a.saferH }
 
 // Safe is φsafe over the full kinematic state: the braking footprint from
 // (pos, vel) is collision-free. φsafe is control-invariant under the
 // braking safe controller, which is exactly property (P2a).
 func (a *Analyzer) Safe(pos, vel geom.Vec3) bool {
-	return a.ws.BoxFree(BrakeBox(pos, vel, a.bounds), a.margin)
+	return a.idx.BoxFree(BrakeBox(pos, vel, a.bounds))
 }
 
 // TTF2Delta is the Figure 9 switching check: true when Reach(s, *, 2Δ) ⊄
 // φsafe, i.e. some admissible behaviour within 2Δ leads to a state whose
 // braking footprint is not collision-free.
 func (a *Analyzer) TTF2Delta(pos, vel geom.Vec3) bool {
-	return !a.ws.BoxFree(StopBox(pos, vel, a.bounds, 2*a.delta), a.margin)
+	return !a.idx.BoxFree(StopBox(pos, vel, a.bounds, 2*a.delta))
 }
 
 // InSafer is st ∈ φsafer: the stop box over the (hysteresis-scaled) horizon
@@ -227,7 +235,7 @@ func (a *Analyzer) TTF2Delta(pos, vel geom.Vec3) bool {
 // any state reachable within 2Δ from φsafer still has its braking footprint
 // inside the original stop box, hence remains in φsafe.
 func (a *Analyzer) InSafer(pos, vel geom.Vec3) bool {
-	return a.ws.BoxFree(StopBox(pos, vel, a.bounds, a.SaferHorizon()), a.margin)
+	return a.idx.BoxFree(StopBox(pos, vel, a.bounds, a.saferH))
 }
 
 // Region classifies a state into the regions of operation of Figure 10.

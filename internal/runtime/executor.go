@@ -177,6 +177,12 @@ type Executor struct {
 	inIDs map[string][]pubsub.TopicID
 	inBuf map[string]pubsub.Valuation
 
+	// Reusable firing-set buffers for the default schedule order. FN is
+	// fully consumed before the next time progress (Step only advances time
+	// when FN is empty), so the backing arrays can be recycled per instant.
+	fnBuf  []string
+	ordBuf []string
+
 	switches []Switch
 	steps    uint64
 }
@@ -329,7 +335,7 @@ func (e *Executor) Run(ctx context.Context, deadline time.Duration) error {
 				return ctx.Err()
 			default:
 			}
-			next, _, ok := e.cal.NextTime(e.cfg.CT)
+			next, ok := e.cal.PeekNext(e.cfg.CT)
 			if !ok || next > deadline {
 				return nil
 			}
@@ -351,7 +357,7 @@ func (e *Executor) RunUntil(deadline time.Duration) error {
 // timeProgress implements DISCRETE-TIME-PROGRESS-STEP plus the environment
 // hook.
 func (e *Executor) timeProgress() (bool, error) {
-	next, firing, ok := e.cal.NextTime(e.cfg.CT)
+	next, ok := e.cal.PeekNext(e.cfg.CT)
 	if !ok {
 		return false, nil
 	}
@@ -368,32 +374,46 @@ func (e *Executor) timeProgress() (bool, error) {
 	if list := e.byKind[obs.KindTimeProgress]; len(list) > 0 {
 		obs.Emit(list, obs.TimeProgress{T: next, Prev: prev})
 	}
-	e.cfg.FN = e.orderFiring(next, firing)
+	e.cfg.FN = e.orderFiring(next)
 	return true, nil
 }
 
-// orderFiring arranges same-instant firings: decision modules first (so OE
-// reflects the freshest mode before controllers publish), then the rest,
-// both alphabetically — unless a custom order is installed.
-func (e *Executor) orderFiring(ct time.Duration, firing []string) []string {
+// orderFiring computes the instant's firing set and arranges it: decision
+// modules first (so OE reflects the freshest mode before controllers
+// publish), then the rest, both alphabetically — unless a custom order is
+// installed. The default path builds into per-executor scratch; the custom
+// path hands the scheduler freshly allocated slices, since the hook may
+// retain them (the systematic-testing engine records schedules).
+func (e *Executor) orderFiring(ct time.Duration) []string {
 	if e.order != nil {
+		firing := e.cal.FiringAt(ct)
 		ordered := e.order(ct, firing)
 		if validPermutation(firing, ordered) {
 			return ordered
 		}
 		// An invalid permutation from a custom scheduler falls back to the
 		// default order rather than corrupting the run.
+		return defaultOrder(e.sys, firing, nil)
 	}
-	dms := make([]string, 0, len(firing))
-	rest := make([]string, 0, len(firing))
+	e.fnBuf = e.cal.AppendFiringAt(ct, e.fnBuf[:0])
+	e.ordBuf = defaultOrder(e.sys, e.fnBuf, e.ordBuf[:0])
+	return e.ordBuf
+}
+
+// defaultOrder appends firing to dst with DMs first, preserving the sorted
+// order within each class.
+func defaultOrder(sys *rta.System, firing []string, dst []string) []string {
 	for _, n := range firing {
-		if _, isDM := e.sys.IsDM(n); isDM {
-			dms = append(dms, n)
-		} else {
-			rest = append(rest, n)
+		if _, isDM := sys.IsDM(n); isDM {
+			dst = append(dst, n)
 		}
 	}
-	return append(dms, rest...)
+	for _, n := range firing {
+		if _, isDM := sys.IsDM(n); !isDM {
+			dst = append(dst, n)
+		}
+	}
+	return dst
 }
 
 // fire executes DM-STEP or AC-OR-SC-STEP for the named node.

@@ -75,7 +75,7 @@ func (s Spec) Canonical() ([]byte, error) {
 	// TestCanonicalResolvesDefaults holds the two paths together.
 	c := canonicalSpec{
 		WorkspaceBounds:    ws.Bounds(),
-		WorkspaceObstacles: ws.Obstacles(),
+		WorkspaceObstacles: ws.ObstaclesView(),
 		Targets:            s.Targets,
 		RandomTargets:      s.RandomTargets,
 		Start:              s.start(),

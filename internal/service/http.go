@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -161,8 +162,19 @@ type scenarioView struct {
 //	GET    /jobs/{id}/events   the job's event stream as JSON Lines
 //	GET    /jobs/{id}/report   the report alone; 409 until terminal
 //	POST   /jobs/{id}/cancel   cancel (also DELETE /jobs/{id})
+//	GET    /debug/pprof/...    live runtime profiles (CPU, heap, goroutine)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	// Registering pprof on the server's own mux (rather than the global
+	// http.DefaultServeMux side effect of a blank import) keeps the profiles
+	// reachable however the handler is mounted — `go tool pprof
+	// http://host/debug/pprof/profile` against a serving instance under fleet
+	// load is the live counterpart of soter-bench's -cpuprofile.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})

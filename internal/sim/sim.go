@@ -199,6 +199,10 @@ type runner struct {
 	// Per-kind dispatch lists over sink + tracker + cfg.Observers for the
 	// closed-loop emission points.
 	byKind [obs.KindCount][]obs.Observer
+	// trajTyped is the unboxed dispatch list for trajectory samples — set
+	// only when every interested observer implements obs.TrajectoryObserver,
+	// sparing one interface allocation per physics sub-step.
+	trajTyped []obs.TrajectoryObserver
 	// Control-flow flags: crash/touchdown end the run (metrics aside).
 	crashed     bool
 	landed      bool
@@ -220,7 +224,11 @@ func (r *runner) emit(e obs.Event) { obs.Emit(r.byKind[e.Kind()], e) }
 
 // observe is called after every physics sub-step.
 func (r *runner) observe(t time.Duration, after plant.State, topics *pubsub.Store) {
-	if list := r.byKind[obs.KindTrajectorySample]; len(list) > 0 {
+	if len(r.trajTyped) > 0 {
+		obs.EmitTrajectory(r.trajTyped, obs.TrajectorySample{
+			T: t, Pos: after.Pos, Vel: after.Vel, Mode: r.tracker.mode, Landed: after.Landed,
+		})
+	} else if list := r.byKind[obs.KindTrajectorySample]; len(list) > 0 {
 		obs.Emit(list, obs.TrajectorySample{
 			T: t, Pos: after.Pos, Vel: after.Vel, Mode: r.tracker.mode, Landed: after.Landed,
 		})
@@ -319,6 +327,7 @@ func Run(cfg RunConfig) (*Result, error) {
 		outageUntil: make(map[string]time.Duration),
 		trajEvery:   50 * time.Millisecond,
 	}
+	r.trajTyped = obs.TrajectoryObservers(r.byKind[obs.KindTrajectorySample])
 	env := &environment{
 		drone:   drone,
 		ws:      ws,
