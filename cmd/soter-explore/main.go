@@ -1,12 +1,18 @@
-// Command soter-explore model-checks the RTA-protected surveillance stack
-// with the bounded-asynchrony systematic-testing engine (the SOTER tool
-// chain's backend, Section V): it enumerates — or randomly samples —
-// interleavings of node firings and checks the Theorem 3.1 invariant φInv
-// plus the no-crash property on every schedule.
+// Command soter-explore model-checks RTA-protected scenarios with the
+// bounded-asynchrony systematic-testing engine (the SOTER tool chain's
+// backend, Section V): it enumerates — or randomly samples — interleavings of
+// node firings and checks the Theorem 3.1 invariant φInv plus the no-crash
+// property on every schedule.
+//
+// It is a thin front-end over the falsification layer's "schedule" strategy
+// (internal/falsify): any registered scenario can be explored, and every
+// violating interleaving is reported as a replayable counterexample carrying
+// its choice vector.
 //
 // Usage:
 //
-//	soter-explore [-horizon 3s] [-schedules 64] [-random-seeds 32] [-faults]
+//	soter-explore [-scenario surveillance-city] [-horizon 3s] [-schedules 64]
+//	              [-random-seeds 32] [-faults] [-full] [-seed 1]
 package main
 
 import (
@@ -19,13 +25,8 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/controller"
-	"repro/internal/explore"
+	"repro/internal/falsify"
 	"repro/internal/geom"
-	"repro/internal/mission"
-	"repro/internal/plant"
-	"repro/internal/pubsub"
-	"repro/internal/runtime"
 )
 
 func main() {
@@ -38,107 +39,71 @@ func main() {
 
 func run() error {
 	var (
-		horizon   = flag.Duration("horizon", 3*time.Second, "per-schedule execution horizon")
-		schedules = flag.Int("schedules", 64, "max schedules to explore")
-		seeds     = flag.Int("random-seeds", 0, "use random scheduling with this many seeds instead of exhaustive DFS")
-		faults    = flag.Bool("faults", true, "inject a full-thrust fault into the AC")
-		seed      = flag.Int64("seed", 1, "stack seed")
+		scenarioName = flag.String("scenario", "surveillance-city", "scenario to explore")
+		horizon      = flag.Duration("horizon", 3*time.Second, "per-schedule execution horizon")
+		schedules    = flag.Int("schedules", 64, "max schedules to explore")
+		seeds        = flag.Int("random-seeds", 0, "use random scheduling with this many seeds instead of exhaustive DFS")
+		faults       = flag.Bool("faults", true, "inject an early full-thrust fault window into the AC")
+		full         = flag.Bool("full", false, "keep the planner and battery RTA modules (more nodes per round: a much wider schedule tree)")
+		seed         = flag.Int64("seed", 1, "campaign seed")
 	)
 	flag.Parse()
 
-	// Each schedule gets a fresh stack and plant: executions are replayed,
-	// not snapshotted.
-	build := func() (*explore.Instance, error) {
-		cfg := mission.DefaultStackConfig(*seed)
-		cfg.WithPlannerModule = false // keep the branching tractable
-		cfg.WithBatteryModule = false
-		cfg.App = mission.AppConfig{Points: []geom.Vec3{geom.V(20, 3, 2)}}
-		if *faults {
-			cfg.ACFaults = []controller.Fault{{
-				Kind:  controller.FaultFullThrust,
-				Start: 500 * time.Millisecond,
-				End:   2 * time.Second,
-				Param: geom.V(1, 0, 0),
-			}}
-		}
-		st, err := mission.Build(cfg)
-		if err != nil {
-			return nil, err
-		}
-		drone, err := plant.NewDrone(cfg.PlantParams, *seed)
-		if err != nil {
-			return nil, err
-		}
-		ws := st.Config.Workspace
-		state := plant.State{Pos: geom.V(3, 3, 2), Battery: 1}
-		env := runtime.EnvironmentFunc(func(prev, now time.Duration, topics *pubsub.Store) error {
-			for t := prev; t < now; t += 5 * time.Millisecond {
-				dt := 5 * time.Millisecond
-				if t+dt > now {
-					dt = now - t
-				}
-				cmd := geom.Vec3{}
-				if raw, err := topics.Get(mission.TopicCmd); err == nil && raw != nil {
-					if v, ok := raw.(geom.Vec3); ok {
-						cmd = v
-					}
-				}
-				state = drone.Step(state, cmd, dt)
-			}
-			return topics.Set(mission.TopicDroneState, state)
-		})
-		property := func(exec *runtime.Executor) error {
-			if plant.Crashed(state, ws) {
-				return fmt.Errorf("crash at t=%v pos=%v", exec.Now(), state.Pos)
-			}
-			return nil
-		}
-		return &explore.Instance{
-			System:    st.System,
-			Env:       env,
-			EnvTopics: []pubsub.Topic{{Name: mission.TopicDroneState, Default: state}},
-			Property:  property,
-		}, nil
+	// The systematic tester re-runs a fresh stack per schedule, so the horizon
+	// doubles as the mission duration; the planner and battery modules are
+	// dropped by default to keep the per-round branching tractable.
+	strategy := "schedule"
+	if *seeds > 0 {
+		strategy = fmt.Sprintf("schedule:%d", *seeds)
+	}
+	off := true
+	base := falsify.Params{Duration: *horizon}
+	if !*full {
+		base.NoPlannerModule, base.NoBatteryModule = &off, &off
+	}
+	if *faults {
+		dir := geom.V(1, 0, 0)
+		base.FaultFirst = 500 * time.Millisecond
+		base.FaultEvery = time.Minute // one window inside a short horizon
+		base.FaultLen = 1500 * time.Millisecond
+		base.FaultDir = &dir
 	}
 
-	cfg := explore.Config{
-		Build:        build,
-		Horizon:      *horizon,
-		MaxSchedules: *schedules,
-	}
-	if *seeds > 0 {
-		for i := 0; i < *seeds; i++ {
-			cfg.Seeds = append(cfg.Seeds, *seed+int64(i))
-		}
-	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	start := time.Now()
-	rep, err := explore.Run(ctx, cfg)
-	if err == context.Canceled {
+	res, err := falsify.Campaign(ctx, falsify.Config{
+		Scenario: *scenarioName,
+		Strategy: strategy,
+		Seed:     *seed,
+		Budget:   *schedules,
+		Base:     base,
+	})
+	if err == context.Canceled && res != nil {
 		fmt.Println("interrupted; reporting the schedules explored so far")
 	} else if err != nil {
 		return err
 	}
+
 	mode := "exhaustive (bounded-asynchrony DFS)"
 	if *seeds > 0 {
 		mode = fmt.Sprintf("random (%d seeds)", *seeds)
 	}
-	fmt.Printf("mode:          %s\n", mode)
-	fmt.Printf("schedules:     %d (exhausted=%v)\n", rep.Schedules, rep.Exhausted)
-	fmt.Printf("choice points: %d\n", rep.ChoicePoints)
-	fmt.Printf("wall time:     %v\n", time.Since(start).Round(time.Millisecond))
-	if len(rep.Violations) == 0 {
+	fmt.Printf("scenario:  %s\n", res.Scenario)
+	fmt.Printf("mode:      %s\n", mode)
+	fmt.Printf("schedules: %d / %d budget\n", res.Executions, res.Budget)
+	fmt.Printf("wall time: %v\n", time.Since(start).Round(time.Millisecond))
+	if len(res.Counterexamples) == 0 {
 		fmt.Println("\nno violation of φInv or the crash property on any explored schedule.")
 		return nil
 	}
-	fmt.Printf("\n%d violations:\n", len(rep.Violations))
-	for i, v := range rep.Violations {
+	fmt.Printf("\n%d violating schedule(s):\n", len(res.Counterexamples))
+	for i, ce := range res.Counterexamples {
 		if i >= 5 {
-			fmt.Printf("  ... and %d more\n", len(rep.Violations)-i)
+			fmt.Printf("  ... and %d more\n", len(res.Counterexamples)-i)
 			break
 		}
-		fmt.Printf("  t=%v choices=%v seed=%d: %v\n", v.Time, v.Choices, v.Seed, v.Err)
+		fmt.Printf("  %s\n", ce)
 	}
-	return fmt.Errorf("%d schedule(s) violated the specification", len(rep.Violations))
+	return fmt.Errorf("%d schedule(s) violated the specification", len(res.Counterexamples))
 }

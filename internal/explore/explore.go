@@ -162,6 +162,30 @@ func runRandom(ctx context.Context, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
+// ReplaySchedule re-executes one recorded schedule: the choice vector drives
+// every choice point (points beyond its end, if any, pick index 0) and the
+// violation it reproduces is returned — nil when the schedule completes
+// cleanly, which callers should treat as "the counterexample no longer
+// reproduces". Config.MaxSchedules and Seeds are ignored; only Build,
+// Horizon and MaxPermutation apply. This is the falsification layer's replay
+// path for schedule counterexamples.
+func ReplaySchedule(cfg Config, choices []int) (*Violation, error) {
+	if cfg.Build == nil {
+		return nil, errors.New("explore: nil builder")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, errors.New("explore: non-positive horizon")
+	}
+	if cfg.MaxPermutation <= 0 || cfg.MaxPermutation > 720 {
+		cfg.MaxPermutation = 720
+	}
+	tr, err := execute(cfg, choices, nil)
+	if err != nil {
+		return nil, err
+	}
+	return tr.violation, nil
+}
+
 // nextVector returns the lexicographically next choice vector, or nil when
 // the tree is exhausted.
 func nextVector(chosen, branching []int) []int {

@@ -1,0 +1,605 @@
+// Package falsify is the adversarial counterexample search engine of the
+// reproduction — the paper's Section V evaluation turned from a one-shot
+// experiment into a subsystem. A campaign searches the
+// scenario.Spec × rta.Policy × seed space around a named base scenario for
+// executions that break the RTA story: crashes, φInv violations, and
+// clamp-storms (configurations that survive on the framework clamp alone).
+//
+// The search space is the Params delta over scenario.Override knobs —
+// fault/planner-bug/jitter profiles, Δ/hysteresis, workspace family,
+// switching policy — filtered for validity through Spec.Validate. Strategies
+// live behind a named registry mirroring rta.Policy's: "random" (seeded
+// uniform sampling), "guided" (hill-climb on the Oracle's severity
+// objective), "schedule" (the internal/explore bounded-asynchrony
+// interleaving enumeration wrapped as one strategy, so the seed engine
+// survives as a backend rather than an island).
+//
+// Campaigns are deterministic: given (strategy, seed, budget) the ranked
+// counterexample list is byte-identical at any worker count, because
+// candidates are generated single-threaded from one seeded RNG, evaluated
+// through fleet.Map (index-ordered results), and accounted in index order.
+// Every Counterexample carries the exact canonical spec delta, seed, policy
+// and fingerprint needed to replay it; found ones auto-register as
+// "falsified/<hash>" regression scenarios and can be persisted to a JSON
+// corpus (testdata/falsified/) that tests replay.
+package falsify
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"slices"
+	"strings"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/obs"
+	"repro/internal/rta"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Default campaign knobs.
+const (
+	// DefaultBudget is the default execution budget of a campaign.
+	DefaultBudget = 64
+	// DefaultClampStorm is the clamp count at which a run qualifies as a
+	// clamp-storm counterexample. Negative Config.ClampStorm disables the
+	// category.
+	DefaultClampStorm = 12
+	// DefaultMaxCounterexamples bounds the ranked result list.
+	DefaultMaxCounterexamples = 32
+)
+
+// Config configures a falsification campaign.
+type Config struct {
+	// Scenario names the base scenario (scenario registry) the search
+	// explores around. Required.
+	Scenario string
+	// Strategy is a strategy spec ("random", "guided:8", "schedule:16");
+	// empty selects the default random strategy.
+	Strategy string
+	// Seed seeds the campaign RNG — candidate mutations and run seeds all
+	// derive from it. Zero defaults to 1.
+	Seed int64
+	// Budget bounds the number of candidate executions; zero defaults to
+	// DefaultBudget.
+	Budget int
+	// Workers bounds concurrent candidate evaluations; zero defaults to
+	// GOMAXPROCS. Worker count never changes campaign results.
+	Workers int
+	// Duration overrides the per-candidate mission horizon; zero keeps each
+	// candidate spec's own duration.
+	Duration time.Duration
+	// Base is a Params delta applied to the base scenario before searching —
+	// the campaign-wide pin ("always under this fault profile").
+	Base Params
+	// Policies is the pool the policy mutation draws from; nil defaults to
+	// every registered policy name.
+	Policies []string
+	// ClampStorm is the clamp-count threshold for the clamp-storm category;
+	// zero defaults to DefaultClampStorm, negative disables the category.
+	ClampStorm int
+	// MaxCounterexamples bounds the ranked list; zero defaults to
+	// DefaultMaxCounterexamples.
+	MaxCounterexamples int
+	// AutoRegister registers found counterexamples as "falsified/<hash>"
+	// regression scenarios in the scenario registry.
+	AutoRegister bool
+	// Observers receive the campaign's progress stream (CampaignProgress
+	// after every evaluation batch, CounterexampleFound on every distinct
+	// find) on the campaign goroutine.
+	Observers []obs.Observer
+}
+
+// Candidate is one point of the search space: a fully-merged Params delta
+// (campaign base ⊕ mutations) plus the run seed.
+type Candidate struct {
+	Params Params `json:"params,omitzero"`
+	Seed   int64  `json:"seed"`
+}
+
+// Outcome is the evaluated verdict of one candidate.
+type Outcome struct {
+	Candidate   Candidate
+	Verdict     Verdict
+	Severity    float64
+	Fingerprint string
+	// Category is non-empty when the candidate qualified as a counterexample.
+	Category string
+	// Err marks a candidate that could not be evaluated (invalid spec after
+	// mutation, build failure). Such candidates consume budget but never
+	// qualify.
+	Err error
+}
+
+// Counterexample is one distinct falsifying execution, self-contained for
+// replay: base scenario name + Params delta + seed rebuild the exact Spec,
+// and Fingerprint pins its canonical identity (drift in the spec semantics
+// is detected, not silently replayed). Schedule counterexamples additionally
+// carry the explore choice vector.
+type Counterexample struct {
+	// Scenario is the base scenario searched around.
+	Scenario string `json:"scenario"`
+	// Candidate rebuilds the concrete spec: Apply(base) + seed.
+	Candidate Candidate `json:"candidate"`
+	// Policy is the canonical switching-policy spec of the rebuilt spec.
+	Policy string `json:"policy"`
+	// Strategy is the canonical strategy spec that found it.
+	Strategy string `json:"strategy"`
+	// Fingerprint is the canonical replay fingerprint: the spec fingerprint
+	// for parameter-space finds, a (spec, choices) hash for schedule finds.
+	Fingerprint string `json:"fingerprint"`
+	// Name is the auto-registered regression scenario name
+	// ("falsified/<hash>"); empty for schedule counterexamples, which replay
+	// through the explore backend rather than the scenario registry.
+	Name string `json:"name,omitempty"`
+	// Category classifies the violation: crash | invariant | clamp-storm.
+	Category string `json:"category"`
+	// Severity is the oracle's score for the run.
+	Severity float64 `json:"severity"`
+	// Verdict is the full oracle verdict the counterexample was filed with.
+	Verdict Verdict `json:"verdict"`
+	// Schedule is the explore choice vector (schedule strategy only); it
+	// replays the exact interleaving. ScheduleSeed records the random
+	// interleaving seed it was sampled from (provenance only).
+	Schedule     []int `json:"schedule,omitempty"`
+	ScheduleSeed int64 `json:"schedule_seed,omitempty"`
+}
+
+// Result is a campaign's deterministic summary: given (strategy, seed,
+// budget) two runs produce byte-identical JSON at any worker count.
+type Result struct {
+	Scenario string `json:"scenario"`
+	// Strategy is the canonical strategy spec that ran.
+	Strategy string `json:"strategy"`
+	Seed     int64  `json:"seed"`
+	Budget   int    `json:"budget"`
+	// Executions counts candidate runs actually performed.
+	Executions int `json:"executions"`
+	// Errored counts candidates that could not be evaluated.
+	Errored int `json:"errored,omitempty"`
+	// BestSeverity is the highest severity observed across all executions.
+	BestSeverity float64 `json:"best_severity"`
+	// Counterexamples is the ranked list: severity descending, fingerprint
+	// ascending on ties, bounded by Config.MaxCounterexamples.
+	Counterexamples []Counterexample `json:"counterexamples"`
+}
+
+// Campaign runs one falsification campaign to completion (or cancellation:
+// the partial Result accumulated so far is returned with the context's
+// error).
+func Campaign(ctx context.Context, cfg Config) (*Result, error) {
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	searchErr := e.strategy.Search(ctx, e)
+	res := e.Result()
+	if searchErr != nil {
+		return res, searchErr
+	}
+	return res, nil
+}
+
+// Validate checks the campaign configuration without running anything — the
+// submit-time gate of the serving layer.
+func (c Config) Validate() error {
+	_, err := NewEngine(c)
+	return err
+}
+
+// Engine is the shared campaign state strategies drive: it owns the resolved
+// base spec, the campaign RNG, the budget, the deduplicated counterexample
+// list and the progress stream. Strategies call RandomCandidate/Mutate to
+// move through the space and Evaluate to spend budget; the engine accounts
+// results single-threaded in candidate order, which is what makes campaigns
+// worker-count-independent.
+type Engine struct {
+	cfg        Config
+	base       scenario.Spec
+	baseParams Params
+	baseFP     string
+	strategy   Strategy
+	rng        *rand.Rand
+	margin     float64
+	observers  obs.Multi
+
+	executions int
+	errored    int
+	best       float64
+	seen       map[string]bool
+	found      []Counterexample
+}
+
+// NewEngine resolves and validates a campaign configuration. Strategies
+// normally receive an engine from Campaign rather than building one.
+func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.Scenario == "" {
+		return nil, errors.New("falsify: no base scenario")
+	}
+	base, ok := scenario.Get(cfg.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("falsify: unknown scenario %q (have: %s)", cfg.Scenario, strings.Join(scenario.Names(), ", "))
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = DefaultBudget
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("falsify: budget %d must be positive", cfg.Budget)
+	}
+	if cfg.ClampStorm == 0 {
+		cfg.ClampStorm = DefaultClampStorm
+	}
+	if cfg.MaxCounterexamples == 0 {
+		cfg.MaxCounterexamples = DefaultMaxCounterexamples
+	}
+	baseParams := cfg.Base
+	if cfg.Duration > 0 {
+		baseParams.Duration = cfg.Duration
+	}
+	base, err := baseParams.Apply(base)
+	if err != nil {
+		return nil, err
+	}
+	// The φInv monitor is the campaign's instrument: without it the
+	// invariant category is structurally empty, so every candidate runs
+	// checked. It is part of the candidate specs' canonical identity, which
+	// keeps falsified/<hash> replays monitored too.
+	base.InvariantMonitor = true
+	if err := base.Validate(); err != nil {
+		return nil, fmt.Errorf("falsify: base %w", err)
+	}
+	baseFP, err := base.Fingerprint(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if len(cfg.Policies) == 0 {
+		cfg.Policies = rta.PolicyNames()
+	}
+	for _, pol := range cfg.Policies {
+		if _, err := rta.CanonicalPolicySpec(pol); err != nil {
+			return nil, fmt.Errorf("falsify: policy pool: %w", err)
+		}
+	}
+	strat, err := ParseStrategy(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	// The stack's safety margin scales the near-miss severity term; the
+	// compiled config is authoritative (PlanMargin etc. resolved).
+	stack, err := base.StackConfig(cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:        cfg,
+		base:       base,
+		baseParams: baseParams,
+		baseFP:     baseFP,
+		strategy:   strat,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		margin:     stack.Margin,
+		observers:  obs.Multi(cfg.Observers),
+		seen:       make(map[string]bool),
+	}, nil
+}
+
+// Base returns the resolved base spec (campaign Base params and duration
+// override applied, φInv monitor forced on). The copy is the caller's.
+func (e *Engine) Base() scenario.Spec { return e.base.With(scenario.Override{}) }
+
+// BaseParams returns the fully-resolved campaign-wide Params pin.
+func (e *Engine) BaseParams() Params { return e.baseParams }
+
+// CampaignSeed returns the campaign's seed.
+func (e *Engine) CampaignSeed() int64 { return e.cfg.Seed }
+
+// Budget returns the total execution budget.
+func (e *Engine) Budget() int { return e.cfg.Budget }
+
+// Remaining returns the unspent execution budget.
+func (e *Engine) Remaining() int { return e.cfg.Budget - e.executions }
+
+// Policies returns the policy mutation pool.
+func (e *Engine) Policies() []string { return slices.Clone(e.cfg.Policies) }
+
+// RNG exposes the campaign RNG. Strategies must draw from it only between
+// Evaluate calls (single-threaded), never inside evaluation callbacks.
+func (e *Engine) RNG() *rand.Rand { return e.rng }
+
+// NewSeed draws a fresh run seed from the campaign RNG.
+func (e *Engine) NewSeed() int64 { return 1 + e.rng.Int63n(1_000_000_000) }
+
+// candidateValid reports whether the candidate's spec passes the scenario
+// layer's own consistency rules — the validity filter of the search space.
+func (e *Engine) candidateValid(p Params) bool {
+	spec, err := p.Apply(e.base)
+	if err != nil {
+		return false
+	}
+	return spec.Validate() == nil
+}
+
+// mutate applies the idx-th applicable operator to a copy of p.
+func (e *Engine) applyMutator(p Params, m mutator) Params {
+	out := p
+	m.apply(&out, e.cfg.Policies, e.rng)
+	return out
+}
+
+// Mutate returns p with one random mutation operator applied, retrying
+// operators whose result the scenario layer rejects; after a bounded number
+// of invalid draws it returns p unchanged (the RNG advances either way).
+func (e *Engine) Mutate(p Params) Params {
+	for try := 0; try < 8; try++ {
+		m := mutators[e.rng.Intn(len(mutators))]
+		if m.ok != nil && !m.ok(e.base) {
+			continue
+		}
+		if out := e.applyMutator(p, m); e.candidateValid(out) {
+			return out
+		}
+	}
+	return p
+}
+
+// RandomCandidate draws a uniform point of the search space: the campaign
+// base with 1–3 mutation operators applied and a fresh seed, filtered for
+// validity.
+func (e *Engine) RandomCandidate() Candidate {
+	for try := 0; try < 8; try++ {
+		p := e.baseParams
+		for n := 1 + e.rng.Intn(3); n > 0; n-- {
+			m := mutators[e.rng.Intn(len(mutators))]
+			if m.ok != nil && !m.ok(e.base) {
+				continue
+			}
+			p = e.applyMutator(p, m)
+		}
+		if e.candidateValid(p) {
+			return Candidate{Params: p, Seed: e.NewSeed()}
+		}
+	}
+	return Candidate{Params: e.baseParams, Seed: e.NewSeed()}
+}
+
+// Evaluate runs a batch of candidates on the worker pool and accounts the
+// outcomes: budget, severity high-water mark, counterexample dedup and
+// registration, progress events. The batch is truncated to the remaining
+// budget; the returned slice is index-aligned with the (truncated) batch.
+// Cancellation returns ctx's error with nothing accounted.
+func (e *Engine) Evaluate(ctx context.Context, batch []Candidate) ([]Outcome, error) {
+	if rem := e.Remaining(); len(batch) > rem {
+		batch = batch[:rem]
+	}
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	outs, _ := fleet.Map(ctx, e.cfg.Workers, len(batch), func(ctx context.Context, i int) (Outcome, error) {
+		return e.evaluateOne(ctx, batch[i]), nil
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i := range outs {
+		e.account(&outs[i])
+	}
+	e.emitProgress()
+	return outs, nil
+}
+
+// evaluateOne builds and simulates one candidate. It runs inside a fleet
+// worker: everything it touches on the engine is immutable campaign state.
+func (e *Engine) evaluateOne(ctx context.Context, cand Candidate) Outcome {
+	out := Outcome{Candidate: cand}
+	spec, err := cand.Params.Apply(e.base)
+	if err == nil {
+		err = spec.Validate()
+	}
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.Fingerprint, err = spec.Fingerprint(cand.Seed)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	rc, err := spec.Build(cand.Seed)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	oracle := NewOracle(rc.Stack.Config.Workspace)
+	rc.Context = ctx
+	rc.Label = e.cfg.Scenario
+	rc.Observers = append(rc.Observers, oracle)
+	if _, err := sim.Run(rc); err != nil {
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			out.Err = err
+			return out
+		}
+		v := oracle.Verdict()
+		v.Err = err.Error()
+		out.Verdict = v
+		return out
+	}
+	out.Verdict = oracle.Verdict()
+	out.Severity = Severity(out.Verdict, e.margin)
+	out.Category = out.Verdict.Category(e.cfg.ClampStorm)
+	return out
+}
+
+// account folds one outcome into the campaign state, in candidate order.
+func (e *Engine) account(out *Outcome) {
+	e.executions++
+	if out.Err != nil || out.Verdict.Err != "" {
+		e.errored++
+		return
+	}
+	if out.Severity > e.best {
+		e.best = out.Severity
+	}
+	if out.Category == "" || e.seen[out.Fingerprint] {
+		return
+	}
+	e.seen[out.Fingerprint] = true
+	ce := Counterexample{
+		Scenario:    e.cfg.Scenario,
+		Candidate:   out.Candidate,
+		Strategy:    e.strategy.Name(),
+		Fingerprint: out.Fingerprint,
+		Name:        "falsified/" + out.Fingerprint[:12],
+		Category:    out.Category,
+		Severity:    out.Severity,
+		Verdict:     out.Verdict,
+	}
+	if pol, err := rta.CanonicalPolicySpec(out.Candidate.Params.Policy); err == nil {
+		ce.Policy = pol
+	}
+	if e.cfg.AutoRegister {
+		e.registerScenario(ce)
+	}
+	e.found = append(e.found, ce)
+	e.emit(obs.CounterexampleFound{
+		T:           time.Duration(e.executions),
+		Strategy:    ce.Strategy,
+		Scenario:    ce.Name,
+		Fingerprint: ce.Fingerprint,
+		Seed:        ce.Candidate.Seed,
+		Category:    ce.Category,
+		Severity:    ce.Severity,
+	})
+}
+
+// registerScenario files the counterexample as a named regression scenario.
+// Re-finding a known counterexample (same fingerprint, e.g. across two
+// campaigns in one process) is idempotent: the duplicate registration is
+// deliberately ignored.
+func (e *Engine) registerScenario(ce Counterexample) {
+	spec, err := ce.Candidate.Params.Apply(e.base)
+	if err != nil {
+		return
+	}
+	spec.Name = ce.Name
+	spec.Description = fmt.Sprintf("auto-registered %s counterexample (severity %.1f) found by %s searching %s, seed %d",
+		ce.Category, ce.Severity, ce.Strategy, e.cfg.Scenario, ce.Candidate.Seed)
+	_ = scenario.Register(spec)
+}
+
+// ReportSchedules folds an explore report into the campaign — the accounting
+// entry point of the schedule strategy. Each explored schedule costs one
+// budget unit; violations become schedule counterexamples keyed by the
+// (spec, choice-vector) hash.
+func (e *Engine) ReportSchedules(rep *ScheduleReport) {
+	e.executions += rep.Schedules
+	for _, v := range rep.Violations {
+		fp := scheduleFingerprint(e.baseFP, v.Choices)
+		if e.seen[fp] {
+			continue
+		}
+		e.seen[fp] = true
+		verdict := v.Verdict
+		sev := Severity(verdict, e.margin)
+		if sev > e.best {
+			e.best = sev
+		}
+		ce := Counterexample{
+			Scenario:     e.cfg.Scenario,
+			Candidate:    Candidate{Params: e.baseParams, Seed: e.cfg.Seed},
+			Strategy:     e.strategy.Name(),
+			Fingerprint:  fp,
+			Category:     verdict.Category(e.cfg.ClampStorm),
+			Severity:     sev,
+			Verdict:      verdict,
+			Schedule:     slices.Clone(v.Choices),
+			ScheduleSeed: v.Seed,
+		}
+		if pol, err := rta.CanonicalPolicySpec(e.baseParams.Policy); err == nil {
+			ce.Policy = pol
+		}
+		e.found = append(e.found, ce)
+		e.emit(obs.CounterexampleFound{
+			T:           time.Duration(e.executions),
+			Strategy:    ce.Strategy,
+			Fingerprint: ce.Fingerprint,
+			Seed:        ce.Candidate.Seed,
+			Category:    ce.Category,
+			Severity:    ce.Severity,
+		})
+	}
+	e.emitProgress()
+}
+
+// Result assembles the deterministic campaign summary: counterexamples
+// ranked by severity descending, fingerprint ascending on ties, bounded by
+// MaxCounterexamples.
+func (e *Engine) Result() *Result {
+	ranked := slices.Clone(e.found)
+	slices.SortStableFunc(ranked, func(a, b Counterexample) int {
+		switch {
+		case a.Severity > b.Severity:
+			return -1
+		case a.Severity < b.Severity:
+			return 1
+		default:
+			return strings.Compare(a.Fingerprint, b.Fingerprint)
+		}
+	})
+	if len(ranked) > e.cfg.MaxCounterexamples {
+		ranked = ranked[:e.cfg.MaxCounterexamples]
+	}
+	return &Result{
+		Scenario:        e.cfg.Scenario,
+		Strategy:        e.strategy.Name(),
+		Seed:            e.cfg.Seed,
+		Budget:          e.cfg.Budget,
+		Executions:      e.executions,
+		Errored:         e.errored,
+		BestSeverity:    e.best,
+		Counterexamples: ranked,
+	}
+}
+
+// emit delivers a campaign event to the configured observers.
+func (e *Engine) emit(ev obs.Event) {
+	if len(e.observers) > 0 {
+		e.observers.OnEvent(ev)
+	}
+}
+
+// emitProgress emits the post-batch CampaignProgress event. T is the
+// campaign pseudo-clock: executions-so-far as nanoseconds, monotone and
+// deterministic.
+func (e *Engine) emitProgress() {
+	e.emit(obs.CampaignProgress{
+		T:            time.Duration(e.executions),
+		Scenario:     e.cfg.Scenario,
+		Strategy:     e.strategy.Name(),
+		Executions:   e.executions,
+		Budget:       e.cfg.Budget,
+		Found:        len(e.found),
+		BestSeverity: e.best,
+	})
+}
+
+// scheduleFingerprint hashes a schedule counterexample's identity: the base
+// spec fingerprint plus the full choice vector.
+func scheduleFingerprint(specFP string, choices []int) string {
+	h := sha256.New()
+	h.Write([]byte(specFP))
+	var b [8]byte
+	for _, c := range choices {
+		binary.BigEndian.PutUint64(b[:], uint64(c))
+		h.Write(b[:])
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -1,0 +1,152 @@
+package falsify
+
+import (
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/rta"
+)
+
+// Verdict is the oracle's summary of one candidate execution — the facts the
+// severity objective and the counterexample classification are computed from.
+// It is JSON-stable: corpus entries pin it so a replay can be compared
+// against the verdict the counterexample was filed with.
+type Verdict struct {
+	// Crashed marks an obstacle or ground impact; CrashTime is its instant.
+	Crashed   bool  `json:"crashed,omitempty"`
+	CrashTime int64 `json:"crash_time_ns,omitempty"`
+	// Collisions counts distinct collision episodes.
+	Collisions int `json:"collisions,omitempty"`
+	// InvariantViolations counts φInv monitor failures (the campaign forces
+	// the monitor on for every candidate).
+	InvariantViolations int `json:"invariant_violations,omitempty"`
+	// Clamped counts framework clamps — the module overriding a policy's AC
+	// proposal in a state where ttf2Δ fails. A storm of them marks a
+	// configuration surviving on the clamp alone.
+	Clamped int `json:"clamped,omitempty"`
+	// Disengagements counts AC→SC switches.
+	Disengagements int `json:"disengagements,omitempty"`
+	// MinClearance is the smallest obstacle clearance observed along the
+	// trajectory (0 when no sample was seen) — the near-miss distance.
+	MinClearance float64 `json:"min_clearance,omitempty"`
+	// Err carries a run error that kept the candidate from being scored
+	// ("mission build failed", ...); such runs never qualify.
+	Err string `json:"err,omitempty"`
+}
+
+// Counterexample categories.
+const (
+	CategoryCrash      = "crash"
+	CategoryInvariant  = "invariant"
+	CategoryClampStorm = "clamp-storm"
+)
+
+// Category classifies the verdict against the campaign's clamp-storm
+// threshold: "crash", "invariant", "clamp-storm", or "" when the run is not
+// a counterexample. Categories are ordered by gravity — a crashing run that
+// also violated φInv files as a crash.
+func (v Verdict) Category(clampStorm int) string {
+	switch {
+	case v.Err != "":
+		return ""
+	case v.Crashed:
+		return CategoryCrash
+	case v.InvariantViolations > 0:
+		return CategoryInvariant
+	case clampStorm > 0 && v.Clamped >= clampStorm:
+		return CategoryClampStorm
+	default:
+		return ""
+	}
+}
+
+// Severity weights. Crashes dominate invariant violations dominate clamp
+// storms; the clamp count and the near-miss term are the continuous slopes
+// the guided strategy hill-climbs on before any discrete violation exists.
+const (
+	sevCrash     = 1000.0
+	sevCollision = 10.0
+	sevInvariant = 100.0
+	sevClamp     = 1.0
+	sevNearMiss  = 50.0
+)
+
+// Severity scores a verdict for ranking and for the guided strategy's
+// objective. margin is the workspace safety margin near-misses are measured
+// against (the mission stack's ttf margin). Deterministic: same verdict and
+// margin, same score.
+func Severity(v Verdict, margin float64) float64 {
+	if v.Err != "" {
+		return 0
+	}
+	s := 0.0
+	if v.Crashed {
+		s += sevCrash
+	}
+	s += sevCollision * float64(v.Collisions)
+	s += sevInvariant * float64(v.InvariantViolations)
+	s += sevClamp * float64(v.Clamped)
+	if margin > 0 && v.MinClearance > 0 && v.MinClearance < margin {
+		s += sevNearMiss * (margin - v.MinClearance) / margin
+	}
+	return s
+}
+
+// Oracle watches one candidate run's event stream and condenses it into a
+// Verdict: crashes, φInv violations, clamp count and the minimum obstacle
+// clearance (the near-miss distance standing in for the minimum ttf2Δ
+// margin, which is not directly observable on the stream). It narrows its
+// interests to the four kinds it needs and implements the typed trajectory
+// fast path, so attaching it costs the run loop nothing extra. One oracle
+// observes one run.
+type Oracle struct {
+	ws        *geom.Workspace
+	v         Verdict
+	haveClear bool
+}
+
+// NewOracle builds an oracle measuring clearance against ws (nil disables
+// near-miss tracking).
+func NewOracle(ws *geom.Workspace) *Oracle { return &Oracle{ws: ws} }
+
+// Interests implements obs.Interested.
+func (o *Oracle) Interests() obs.KindSet {
+	return obs.Kinds(obs.KindModeSwitch, obs.KindInvariantViolation, obs.KindCrash, obs.KindTrajectorySample)
+}
+
+// OnEvent implements obs.Observer.
+func (o *Oracle) OnEvent(e obs.Event) {
+	switch ev := e.(type) {
+	case obs.ModeSwitch:
+		if ev.To == rta.ModeSC {
+			o.v.Disengagements++
+			if ev.Reason == rta.ReasonClamped {
+				o.v.Clamped++
+			}
+		}
+	case obs.InvariantViolation:
+		o.v.InvariantViolations++
+	case obs.Crash:
+		o.v.Collisions++
+		if !o.v.Crashed {
+			o.v.Crashed = true
+			o.v.CrashTime = int64(ev.T)
+		}
+	case obs.TrajectorySample:
+		o.OnTrajectorySample(ev)
+	}
+}
+
+// OnTrajectorySample implements obs.TrajectoryObserver — the unboxed entry
+// point for the highest-volume kind.
+func (o *Oracle) OnTrajectorySample(ev obs.TrajectorySample) {
+	if o.ws == nil || ev.Landed {
+		return
+	}
+	if c := o.ws.Clearance(ev.Pos); !o.haveClear || c < o.v.MinClearance {
+		o.v.MinClearance = c
+		o.haveClear = true
+	}
+}
+
+// Verdict returns the aggregated verdict.
+func (o *Oracle) Verdict() Verdict { return o.v }

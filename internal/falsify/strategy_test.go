@@ -1,0 +1,71 @@
+package falsify
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestStrategyRegistry(t *testing.T) {
+	names := StrategyNames()
+	for _, want := range []string{"guided", "random", "schedule"} {
+		if !slices.Contains(names, want) {
+			t.Errorf("StrategyNames() = %v, missing %q", names, want)
+		}
+	}
+	if !slices.IsSorted(names) {
+		t.Errorf("StrategyNames() not sorted: %v", names)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	good := map[string]string{
+		"":           DefaultStrategyName,
+		"random":     "random",
+		"guided":     "guided:8",
+		"guided:4":   "guided:4",
+		"schedule":   "schedule",
+		"schedule:3": "schedule:3",
+	}
+	for spec, wantName := range good {
+		s, err := ParseStrategy(spec)
+		if err != nil {
+			t.Errorf("ParseStrategy(%q): %v", spec, err)
+			continue
+		}
+		if s.Name() != wantName {
+			t.Errorf("ParseStrategy(%q).Name() = %q, want %q", spec, s.Name(), wantName)
+		}
+		if canon, err := CanonicalStrategySpec(spec); err != nil || canon != wantName {
+			t.Errorf("CanonicalStrategySpec(%q) = %q, %v", spec, canon, err)
+		}
+	}
+	bad := []string{
+		"annealing",  // unregistered
+		"random:3",   // random takes no parameter
+		"guided:0",   // zero parameter
+		"guided:-2",  // negative parameter
+		"guided:x",   // non-numeric parameter
+		"guided:4:4", // too many colons
+		" guided",    // whitespace is not trimmed
+	}
+	for _, spec := range bad {
+		if _, err := ParseStrategy(spec); err == nil {
+			t.Errorf("ParseStrategy(%q) accepted", spec)
+		}
+	}
+}
+
+func TestRegisterStrategyRejects(t *testing.T) {
+	dummy := func(int) (Strategy, error) { return randomStrategy{}, nil }
+	cases := map[string]error{
+		"empty name":    RegisterStrategy("", dummy),
+		"colon in name": RegisterStrategy("a:b", dummy),
+		"nil factory":   RegisterStrategy("x", nil),
+		"duplicate":     RegisterStrategy("random", dummy),
+	}
+	for name, err := range cases {
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

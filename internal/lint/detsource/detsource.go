@@ -43,7 +43,7 @@ var Analyzer = &analysis.Analyzer{
 var Deterministic = map[string]bool{
 	"sim": true, "fleet": true, "rta": true, "runtime": true,
 	"plant": true, "pubsub": true, "scenario": true, "plan": true,
-	"mission": true, "reach": true, "battery": true,
+	"mission": true, "reach": true, "battery": true, "falsify": true,
 }
 
 // allowedRand lists the math/rand top-level functions that construct

@@ -8,7 +8,9 @@
 //
 //   - Event is a closed union of everything that happens during a run:
 //     RunStart/RunEnd, NodeFired, ModeSwitch, InvariantViolation,
-//     TimeProgress, TrajectorySample, BatterySample, Crash, Landed.
+//     TimeProgress, TrajectorySample, BatterySample, Crash, Landed — plus
+//     the falsification-campaign pair CampaignProgress/CounterexampleFound,
+//     which report on a *search over* runs rather than a single run.
 //   - Observer consumes events; Multi fans one stream out to many observers;
 //     ObserverFunc adapts plain functions.
 //   - Built-in sinks cover the common consumers: JSONLWriter streams the run
@@ -45,6 +47,8 @@ const (
 	KindBatterySample
 	KindCrash
 	KindLanded
+	KindCampaignProgress
+	KindCounterexample
 	numKinds
 )
 
@@ -71,6 +75,8 @@ var kindNames = [numKinds]string{
 	KindBatterySample:      "battery_sample",
 	KindCrash:              "crash",
 	KindLanded:             "landed",
+	KindCampaignProgress:   "campaign_progress",
+	KindCounterexample:     "counterexample",
 }
 
 // KindSet is a bitmask of event kinds. Observers may narrow the kinds they
@@ -210,26 +216,72 @@ type Landed struct {
 	Battery float64 `json:"battery"`
 }
 
+// CampaignProgress reports the state of a falsification campaign after a
+// batch of candidate executions. Campaign events use a pseudo-clock — T is
+// the number of executions completed, expressed as nanoseconds — so streams
+// stay monotone and deterministic without consulting a wall clock.
+type CampaignProgress struct {
+	T time.Duration `json:"t_ns"`
+	// Scenario is the base scenario the campaign searches around.
+	Scenario string `json:"scenario,omitempty"`
+	// Strategy is the canonical strategy spec ("random", "guided:8", ...).
+	Strategy string `json:"strategy,omitempty"`
+	// Executions is the number of candidate runs completed so far.
+	Executions int `json:"executions"`
+	// Budget is the campaign's total execution budget.
+	Budget int `json:"budget"`
+	// Found is the number of distinct counterexamples found so far.
+	Found int `json:"found"`
+	// BestSeverity is the highest severity observed so far (0 when none).
+	BestSeverity float64 `json:"best_severity"`
+}
+
+// CounterexampleFound reports one distinct counterexample the moment a
+// falsification campaign confirms it. T is the campaign pseudo-clock (see
+// CampaignProgress). The fingerprint plus seed is the complete replay key.
+type CounterexampleFound struct {
+	T time.Duration `json:"t_ns"`
+	// Strategy is the canonical strategy spec that found it.
+	Strategy string `json:"strategy,omitempty"`
+	// Scenario is the auto-registered regression scenario name
+	// ("falsified/<hash>"); empty when auto-registration is off or the
+	// counterexample is a schedule interleaving.
+	Scenario string `json:"scenario,omitempty"`
+	// Fingerprint is the canonical replay fingerprint of the counterexample.
+	Fingerprint string `json:"fingerprint"`
+	// Seed is the run seed that reproduces the violation.
+	Seed int64 `json:"seed"`
+	// Category classifies the violation: "crash", "invariant" or
+	// "clamp-storm". (Not "kind": that key is the JSONL discriminator.)
+	Category string `json:"category"`
+	// Severity is the oracle's severity score for the run.
+	Severity float64 `json:"severity"`
+}
+
 // Kind implements Event.
-func (RunStart) Kind() Kind           { return KindRunStart }
-func (RunEnd) Kind() Kind             { return KindRunEnd }
-func (NodeFired) Kind() Kind          { return KindNodeFired }
-func (ModeSwitch) Kind() Kind         { return KindModeSwitch }
-func (InvariantViolation) Kind() Kind { return KindInvariantViolation }
-func (TimeProgress) Kind() Kind       { return KindTimeProgress }
-func (TrajectorySample) Kind() Kind   { return KindTrajectorySample }
-func (BatterySample) Kind() Kind      { return KindBatterySample }
-func (Crash) Kind() Kind              { return KindCrash }
-func (Landed) Kind() Kind             { return KindLanded }
+func (RunStart) Kind() Kind            { return KindRunStart }
+func (RunEnd) Kind() Kind              { return KindRunEnd }
+func (NodeFired) Kind() Kind           { return KindNodeFired }
+func (ModeSwitch) Kind() Kind          { return KindModeSwitch }
+func (InvariantViolation) Kind() Kind  { return KindInvariantViolation }
+func (TimeProgress) Kind() Kind        { return KindTimeProgress }
+func (TrajectorySample) Kind() Kind    { return KindTrajectorySample }
+func (BatterySample) Kind() Kind       { return KindBatterySample }
+func (Crash) Kind() Kind               { return KindCrash }
+func (Landed) Kind() Kind              { return KindLanded }
+func (CampaignProgress) Kind() Kind    { return KindCampaignProgress }
+func (CounterexampleFound) Kind() Kind { return KindCounterexample }
 
 // Time implements Event.
-func (e RunStart) Time() time.Duration           { return e.T }
-func (e RunEnd) Time() time.Duration             { return e.T }
-func (e NodeFired) Time() time.Duration          { return e.T }
-func (e ModeSwitch) Time() time.Duration         { return e.T }
-func (e InvariantViolation) Time() time.Duration { return e.T }
-func (e TimeProgress) Time() time.Duration       { return e.T }
-func (e TrajectorySample) Time() time.Duration   { return e.T }
-func (e BatterySample) Time() time.Duration      { return e.T }
-func (e Crash) Time() time.Duration              { return e.T }
-func (e Landed) Time() time.Duration             { return e.T }
+func (e RunStart) Time() time.Duration            { return e.T }
+func (e RunEnd) Time() time.Duration              { return e.T }
+func (e NodeFired) Time() time.Duration           { return e.T }
+func (e ModeSwitch) Time() time.Duration          { return e.T }
+func (e InvariantViolation) Time() time.Duration  { return e.T }
+func (e TimeProgress) Time() time.Duration        { return e.T }
+func (e TrajectorySample) Time() time.Duration    { return e.T }
+func (e BatterySample) Time() time.Duration       { return e.T }
+func (e Crash) Time() time.Duration               { return e.T }
+func (e Landed) Time() time.Duration              { return e.T }
+func (e CampaignProgress) Time() time.Duration    { return e.T }
+func (e CounterexampleFound) Time() time.Duration { return e.T }

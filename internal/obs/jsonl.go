@@ -60,6 +60,10 @@ func UnmarshalEvent(line []byte) (Event, error) {
 		return decodeAs[Crash](line)
 	case kindNames[KindLanded]:
 		return decodeAs[Landed](line)
+	case kindNames[KindCampaignProgress]:
+		return decodeAs[CampaignProgress](line)
+	case kindNames[KindCounterexample]:
+		return decodeAs[CounterexampleFound](line)
 	default:
 		return nil, fmt.Errorf("obs: unknown event kind %q", head.Kind)
 	}

@@ -29,6 +29,8 @@ func allEventKinds() []Event {
 		BatterySample{T: 600 * time.Millisecond, Charge: 0.87},
 		Crash{T: 700 * time.Millisecond, Pos: geom.V(9, 9, 0)},
 		Landed{T: 800 * time.Millisecond, Pos: geom.V(3, 3, 0.2), Battery: 0.3},
+		CampaignProgress{T: 16, Scenario: "surveillance-city", Strategy: "guided:8", Executions: 16, Budget: 64, Found: 2, BestSeverity: 1030.5},
+		CounterexampleFound{T: 16, Strategy: "guided:8", Scenario: "falsified/deadbeefcafe", Fingerprint: "deadbeefcafef00ddeadbeefcafef00d", Seed: 7, Category: "crash", Severity: 1030.5},
 	}
 }
 

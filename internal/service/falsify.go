@@ -1,0 +1,164 @@
+package service
+
+import (
+	"context"
+	goruntime "runtime"
+	"time"
+
+	"repro/internal/falsify"
+	"repro/internal/obs"
+)
+
+// FalsifyJobSpec is a falsification-campaign request — the second job type
+// the server runs. Where a JobSpec sweeps a fixed grid, a falsify job hunts:
+// it hands the scenario to internal/falsify's adversarial search and streams
+// campaign progress and counterexample finds over the same JSONL event
+// endpoints as a sweep job.
+type FalsifyJobSpec struct {
+	// Scenario names the base scenario the search explores around.
+	Scenario string `json:"scenario"`
+	// Strategy is a falsify strategy spec ("random", "guided:8",
+	// "schedule:16"); empty selects the default.
+	Strategy string `json:"strategy,omitempty"`
+	// Seed seeds the campaign; zero defaults to 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Budget bounds candidate executions; zero defaults to
+	// falsify.DefaultBudget.
+	Budget int `json:"budget,omitempty"`
+	// Duration overrides the per-candidate mission horizon.
+	Duration Duration `json:"duration,omitempty"`
+	// Base is the campaign-wide Params pin applied before searching.
+	Base falsify.Params `json:"base,omitzero"`
+	// Policies restricts the policy mutation pool; empty means every
+	// registered policy.
+	Policies []string `json:"policies,omitempty"`
+	// ClampStorm sets the clamp-storm threshold (0 = default, <0 disables).
+	ClampStorm int `json:"clamp_storm,omitempty"`
+	// MaxCounterexamples bounds the ranked result list.
+	MaxCounterexamples int `json:"max_counterexamples,omitempty"`
+	// Register auto-registers counterexamples as "falsified/<hash>"
+	// scenarios, visible in GET /scenarios and runnable as ordinary jobs.
+	Register bool `json:"register,omitempty"`
+	// Workers bounds the campaign's evaluation pool (never raised above the
+	// server's own bound). Worker count never changes campaign results.
+	Workers int `json:"workers,omitempty"`
+}
+
+// config compiles the wire spec into a campaign configuration.
+func (fs FalsifyJobSpec) config() falsify.Config {
+	return falsify.Config{
+		Scenario:           fs.Scenario,
+		Strategy:           fs.Strategy,
+		Seed:               fs.Seed,
+		Budget:             fs.Budget,
+		Duration:           time.Duration(fs.Duration),
+		Base:               fs.Base,
+		Policies:           fs.Policies,
+		ClampStorm:         fs.ClampStorm,
+		MaxCounterexamples: fs.MaxCounterexamples,
+		AutoRegister:       fs.Register,
+	}
+}
+
+// budget resolves the effective execution budget (the job's cell total).
+func (fs FalsifyJobSpec) budget() int {
+	if fs.Budget > 0 {
+		return fs.Budget
+	}
+	return falsify.DefaultBudget
+}
+
+// SubmitFalsify validates a falsification request and enqueues it on the same
+// job queue as sweep jobs — one runner pool, one retention table, one event
+// fan-out mechanism.
+func (s *Server) SubmitFalsify(spec FalsifyJobSpec) (*Job, error) {
+	if err := spec.config().Validate(); err != nil {
+		return nil, err
+	}
+	return s.enqueue(func(id string) *Job {
+		return &Job{
+			id:      id,
+			falsify: &spec,
+			fan:     newFanout(s.cfg.EventRing),
+			created: time.Now(),
+			status:  StatusQueued,
+		}
+	})
+}
+
+// runFalsifyJob executes one falsification campaign. The job's fan-out is
+// wired straight into the engine's observer list, so CampaignProgress and
+// CounterexampleFound events stream to /jobs/{id}/events subscribers exactly
+// like sweep events do; a second tap keeps the job's progress counters live.
+func (s *Server) runFalsifyJob(job *Job) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	if !job.begin(cancel) {
+		job.finish(nil, context.Canceled)
+		return
+	}
+	cfg := job.falsify.config()
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if job.falsify.Workers > 0 && job.falsify.Workers < workers {
+		workers = job.falsify.Workers
+	}
+	cfg.Workers = workers
+	cfg.Observers = []obs.Observer{job.fan, campaignTap{job}}
+	res, err := falsify.Campaign(ctx, cfg)
+	job.finishFalsify(res, err, ctx.Err())
+}
+
+// campaignTap mirrors campaign progress into the job's cell counters so
+// polling clients (GET /jobs/{id}) see executions/budget without subscribing
+// to the event stream.
+type campaignTap struct{ job *Job }
+
+// Interests implements obs.Interested.
+func (t campaignTap) Interests() obs.KindSet {
+	return obs.Kinds(obs.KindCampaignProgress, obs.KindCounterexample)
+}
+
+// OnEvent implements obs.Observer.
+func (t campaignTap) OnEvent(e obs.Event) {
+	if p, ok := e.(obs.CampaignProgress); ok {
+		t.job.falsifyProgress(p.Executions, p.Found)
+	}
+}
+
+// falsifyProgress records the latest campaign counters.
+func (j *Job) falsifyProgress(executions, found int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cellsDone = executions
+	j.falsifyFound = found
+}
+
+// falsifyReport returns the campaign result, or nil while the job runs.
+func (j *Job) falsifyReport() *falsify.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.falsifyResult
+}
+
+// finishFalsify records the campaign's terminal state. Like sweep jobs, a
+// cancelled campaign keeps the partial result it accumulated.
+func (j *Job) finishFalsify(res *falsify.Result, err, ctxErr error) {
+	j.mu.Lock()
+	j.falsifyResult = res
+	j.finished = time.Now()
+	switch {
+	case ctxErr != nil || j.status == StatusCancelled:
+		j.status = StatusCancelled
+		j.err = context.Canceled
+	case err != nil:
+		j.status = StatusFailed
+		j.err = err
+	default:
+		j.status = StatusDone
+	}
+	j.mu.Unlock()
+	j.fan.Close()
+}

@@ -16,6 +16,7 @@ import (
 var StreamKinds = obs.Kinds(
 	obs.KindRunStart, obs.KindRunEnd, obs.KindModeSwitch,
 	obs.KindInvariantViolation, obs.KindCrash, obs.KindLanded,
+	obs.KindCampaignProgress, obs.KindCounterexample,
 )
 
 // fanout broadcasts a job's event stream to any number of HTTP subscribers —

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/falsify"
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/rta"
@@ -17,18 +18,22 @@ import (
 )
 
 // JobView is the JSON projection of a Job returned by the job endpoints.
+// Exactly one of Spec and Falsify is populated, matching the job type.
 type JobView struct {
-	ID       string    `json:"id"`
-	Scenario string    `json:"scenario"`
-	Status   Status    `json:"status"`
-	Spec     JobSpec   `json:"spec"`
-	Cells    CellsView `json:"cells"`
-	Created  time.Time `json:"created"`
-	Started  time.Time `json:"started,omitzero"`
-	Finished time.Time `json:"finished,omitzero"`
-	Error    string    `json:"error,omitempty"`
-	// Report is present once the job reached a terminal state.
-	Report *ReportView `json:"report,omitempty"`
+	ID       string          `json:"id"`
+	Scenario string          `json:"scenario"`
+	Status   Status          `json:"status"`
+	Spec     JobSpec         `json:"spec,omitzero"`
+	Falsify  *FalsifyJobSpec `json:"falsify,omitempty"`
+	Cells    CellsView       `json:"cells"`
+	Created  time.Time       `json:"created"`
+	Started  time.Time       `json:"started,omitzero"`
+	Finished time.Time       `json:"finished,omitzero"`
+	Error    string          `json:"error,omitempty"`
+	// Report is present once a sweep job reached a terminal state;
+	// FalsifyResult is its campaign-job counterpart.
+	Report        *ReportView     `json:"report,omitempty"`
+	FalsifyResult *falsify.Result `json:"falsify_result,omitempty"`
 }
 
 // CellsView is the job's grid-cell progress.
@@ -123,11 +128,21 @@ func (j *Job) view() JobView {
 		Started:  j.started,
 		Finished: j.finished,
 	}
+	if j.falsify != nil {
+		v.Scenario = j.falsify.Scenario
+		v.Falsify = j.falsify
+		// A campaign's "cells" are its execution budget.
+		v.Cells = CellsView{Total: j.falsify.budget(), Done: j.cellsDone}
+	}
 	if j.err != nil {
 		v.Error = j.err.Error()
 	}
 	if j.status.Terminal() {
-		v.Report = reportView(j.report, j.policyName())
+		if j.falsify != nil {
+			v.FalsifyResult = j.falsifyResult
+		} else {
+			v.Report = reportView(j.report, j.policyName())
+		}
 	}
 	return v
 }
@@ -153,16 +168,19 @@ type scenarioView struct {
 
 // Handler adapts the server to HTTP. Routes:
 //
-//	GET    /healthz            liveness probe
-//	GET    /scenarios          the scenario catalog
-//	GET    /stats              cache counters and job tallies
-//	POST   /jobs               submit a JobSpec; 202 + JobView
-//	GET    /jobs               list jobs
-//	GET    /jobs/{id}          job status, progress and (when done) report
-//	GET    /jobs/{id}/events   the job's event stream as JSON Lines
-//	GET    /jobs/{id}/report   the report alone; 409 until terminal
-//	POST   /jobs/{id}/cancel   cancel (also DELETE /jobs/{id})
-//	GET    /debug/pprof/...    live runtime profiles (CPU, heap, goroutine)
+//	GET    /healthz             liveness probe
+//	GET    /scenarios           the scenario catalog (incl. auto-registered
+//	                            falsified/<hash> counterexamples)
+//	GET    /stats               cache counters and job tallies
+//	POST   /jobs                submit a JobSpec; 202 + JobView
+//	POST   /falsify             submit a FalsifyJobSpec; 202 + JobView
+//	GET    /falsify/strategies  the falsification strategy catalog
+//	GET    /jobs                list jobs (both types)
+//	GET    /jobs/{id}           job status, progress and (when done) result
+//	GET    /jobs/{id}/events    the job's event stream as JSON Lines
+//	GET    /jobs/{id}/report    the report/result alone; 409 until terminal
+//	POST   /jobs/{id}/cancel    cancel (also DELETE /jobs/{id})
+//	GET    /debug/pprof/...     live runtime profiles (CPU, heap, goroutine)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	// Registering pprof on the server's own mux (rather than the global
@@ -208,6 +226,28 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusAccepted, job.view())
 	})
+	mux.HandleFunc("POST /falsify", func(w http.ResponseWriter, r *http.Request) {
+		var spec FalsifyJobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode falsify spec: %w", err))
+			return
+		}
+		job, err := s.SubmitFalsify(spec)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrBusy) || errors.Is(err, ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeErr(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.view())
+	})
+	mux.HandleFunc("GET /falsify/strategies", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, falsify.StrategyNames())
+	})
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		jobs := s.Jobs()
 		out := make([]JobView, 0, len(jobs))
@@ -231,6 +271,10 @@ func (s *Server) Handler() http.Handler {
 		}
 		if !j.Status().Terminal() {
 			writeErr(w, http.StatusConflict, fmt.Errorf("job %s is %s; report not ready", j.ID(), j.Status()))
+			return
+		}
+		if j.falsify != nil {
+			writeJSON(w, http.StatusOK, j.falsifyReport())
 			return
 		}
 		writeJSON(w, http.StatusOK, reportView(j.Report(), j.policyName()))

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/falsify"
 	"repro/internal/fleet"
 	"repro/internal/mission"
 	"repro/internal/plan"
@@ -253,23 +254,28 @@ type cellResult struct {
 }
 
 // Job is one submitted batch with its live state. All mutable fields are
-// guarded by mu; the event fan-out has its own synchronization.
+// guarded by mu; the event fan-out has its own synchronization. Exactly one
+// of the two request forms is set: spec (a fleet sweep) or falsify (a
+// falsification campaign).
 type Job struct {
 	id       string
 	spec     JobSpec
 	resolved scenario.Spec // base spec with the overrides folded in
 	seeds    []int64
 	keys     []string // per-seed cache keys, aligned with seeds
+	falsify  *FalsifyJobSpec
 	fan      *fanout
 	created  time.Time
 
-	mu          sync.Mutex
-	status      Status
-	started     time.Time
-	finished    time.Time
-	cancel      func()
-	report      *fleet.Report
-	err         error
-	cellsDone   int
-	cellsCached int
+	mu            sync.Mutex
+	status        Status
+	started       time.Time
+	finished      time.Time
+	cancel        func()
+	report        *fleet.Report
+	falsifyResult *falsify.Result
+	falsifyFound  int
+	err           error
+	cellsDone     int
+	cellsCached   int
 }

@@ -185,10 +185,27 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Registration, retention eviction and the (non-blocking) enqueue happen
-	// under one lock, so a full queue never unregisters a neighbour's job and
-	// Close — which flips s.closed under the same lock before stopping the
-	// runners — can never strand a job in the queue.
+	return s.enqueue(func(id string) *Job {
+		return &Job{
+			id:       id,
+			spec:     spec,
+			resolved: resolved,
+			seeds:    seeds,
+			keys:     keys,
+			fan:      newFanout(s.cfg.EventRing),
+			created:  time.Now(),
+			status:   StatusQueued,
+		}
+	})
+}
+
+// enqueue registers and queues a freshly built job — the shared tail of
+// Submit and SubmitFalsify. Registration, retention eviction and the
+// (non-blocking) enqueue happen under one lock, so a full queue never
+// unregisters a neighbour's job and Close — which flips s.closed under the
+// same lock before stopping the runners — can never strand a job in the
+// queue.
+func (s *Server) enqueue(build func(id string) *Job) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -199,16 +216,7 @@ func (s *Server) Submit(spec JobSpec) (*Job, error) {
 		return nil, fmt.Errorf("job table full (%d active jobs): %w", len(s.jobs), ErrBusy)
 	}
 	s.seq++
-	job := &Job{
-		id:       fmt.Sprintf("job-%06d", s.seq),
-		spec:     spec,
-		resolved: resolved,
-		seeds:    seeds,
-		keys:     keys,
-		fan:      newFanout(s.cfg.EventRing),
-		created:  time.Now(),
-		status:   StatusQueued,
-	}
+	job := build(fmt.Sprintf("job-%06d", s.seq))
 	select {
 	case s.queue <- job:
 	default:
@@ -322,9 +330,19 @@ func (s *Server) runner() {
 	}
 }
 
-// runJob executes one job over the fleet engine with the cache wired into the
-// per-mission reuse hook.
+// runJob dispatches a dequeued job to its executor: falsification campaigns
+// to the falsify engine, everything else to the fleet sweep below.
 func (s *Server) runJob(job *Job) {
+	if job.falsify != nil {
+		s.runFalsifyJob(job)
+		return
+	}
+	s.runSweepJob(job)
+}
+
+// runSweepJob executes one batch job over the fleet engine with the cache
+// wired into the per-mission reuse hook.
+func (s *Server) runSweepJob(job *Job) {
 	ctx, cancel := context.WithCancel(s.ctx)
 	defer cancel()
 	if !job.begin(cancel) {

@@ -61,9 +61,11 @@
 package soter
 
 import (
+	"context"
 	"io"
 	"time"
 
+	"repro/internal/falsify"
 	"repro/internal/node"
 	"repro/internal/obs"
 	"repro/internal/pubsub"
@@ -178,6 +180,10 @@ type (
 	CrashEvent = obs.Crash
 	// LandedEvent reports an intentional touchdown.
 	LandedEvent = obs.Landed
+	// CampaignProgressEvent reports a falsification campaign's progress.
+	CampaignProgressEvent = obs.CampaignProgress
+	// CounterexampleFoundEvent reports one distinct falsification find.
+	CounterexampleFoundEvent = obs.CounterexampleFound
 )
 
 // Event kinds, for KindSet subscriptions.
@@ -192,6 +198,8 @@ const (
 	KindBatterySample      = obs.KindBatterySample
 	KindCrash              = obs.KindCrash
 	KindLanded             = obs.KindLanded
+	KindCampaignProgress   = obs.KindCampaignProgress
+	KindCounterexample     = obs.KindCounterexample
 )
 
 // Kinds builds a KindSet from the listed kinds; AllKinds selects every kind.
@@ -256,6 +264,55 @@ const (
 // them. Handler() adapts it to HTTP — cmd/soter-serve is exactly that
 // wiring plus graceful shutdown.
 func NewService(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }
+
+// Falsification vocabulary, re-exported from internal/falsify: adversarial
+// counterexample search over the scenario × policy × seed space. Campaigns
+// are deterministic given (strategy, seed, budget); counterexamples are
+// self-contained and replayable. The serving layer runs the same engine as
+// POST /falsify jobs (FalsifyJobSpec below).
+type (
+	// FalsifyConfig configures a falsification campaign.
+	FalsifyConfig = falsify.Config
+	// FalsifyResult is a campaign's deterministic ranked summary.
+	FalsifyResult = falsify.Result
+	// FalsifyParams is one point of the search space — the JSON delta a
+	// counterexample carries to be replayed over its base scenario.
+	FalsifyParams = falsify.Params
+	// FalsifyVerdict is the oracle's summary of one candidate execution.
+	FalsifyVerdict = falsify.Verdict
+	// Counterexample is one distinct falsifying execution, replayable.
+	Counterexample = falsify.Counterexample
+	// FalsifyStrategy decides how a campaign spends its execution budget.
+	FalsifyStrategy = falsify.Strategy
+	// FalsifyStrategyFactory builds a strategy from a "name:K" spec parameter.
+	FalsifyStrategyFactory = falsify.StrategyFactory
+	// CorpusEntry is the on-disk form of a counterexample (testdata corpora).
+	CorpusEntry = falsify.CorpusEntry
+	// FalsifyJobSpec is the serving layer's falsification-campaign request.
+	FalsifyJobSpec = service.FalsifyJobSpec
+)
+
+// Falsify runs one falsification campaign to completion (or cancellation).
+func Falsify(ctx context.Context, cfg FalsifyConfig) (*FalsifyResult, error) {
+	return falsify.Campaign(ctx, cfg)
+}
+
+// RegisterFalsifyStrategy adds a named search strategy to the falsification
+// registry. Built-ins: random (seeded uniform sampling, the default), guided
+// (hill-climb on the severity objective), schedule (bounded-asynchrony
+// interleaving enumeration).
+func RegisterFalsifyStrategy(name string, f FalsifyStrategyFactory) error {
+	return falsify.RegisterStrategy(name, f)
+}
+
+// FalsifyStrategyNames returns the registered strategy names, sorted.
+func FalsifyStrategyNames() []string { return falsify.StrategyNames() }
+
+// CanonicalFalsifyStrategySpec normalizes a strategy spec, making defaults
+// explicit ("" → "random", "guided" → "guided:8").
+func CanonicalFalsifyStrategySpec(spec string) (string, error) {
+	return falsify.CanonicalStrategySpec(spec)
+}
 
 // Modes.
 const (
