@@ -11,6 +11,10 @@
 //
 //	soter-bench [-seed N] [-quick] [-workers N] [-timeout D] [-json]
 //	            [-cpuprofile F] [-memprofile F] [experiment ...]
+//	soter-bench -certify [-certify-scenario S] [-certify-policies P,Q]
+//	            [-threshold T] [-confidence C] [-max-seeds N]
+//	            [-certify-batch N] [-certify-duration D]
+//	            [-certify-activation P] [-certify-boost B] [-json]
 //
 // With no arguments every experiment runs. Experiments: fig5r fig5l fig6
 // fig10 fig12a fig12b fig12b-fleet fig12c sec5c sec5d abl-delta abl-policy
@@ -24,6 +28,14 @@
 // ac_fraction is -1 for experiments with no AC/SC switching layer; policy is
 // the switching policy the experiment ran ("grid" for multi-policy sweeps,
 // "n/a" when there is no switching layer to run one).
+//
+// The second form runs statistical certification (internal/certify) instead
+// of the paper experiments: sequential seed sweeps with early stopping decide
+// whether each cell's crash probability is below -threshold at -confidence.
+// -certify-scenario selects one cell (its registry policy, or the
+// -certify-policies list); with no scenario the whole registry × policy
+// matrix is certified. With -json, one certify.Result object (plus wall_ms)
+// is written per cell.
 //
 // The whole harness is cancellation-aware: -timeout bounds the total wall
 // clock and SIGINT/SIGTERM interrupt it; either way the experiments finished
@@ -43,9 +55,11 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"slices"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/certify"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/rta"
@@ -309,6 +323,16 @@ func run() error {
 	jsonOut := flag.Bool("json", false, "emit one JSON object per experiment instead of text tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (after the experiments finish) to this file")
+	certifyMode := flag.Bool("certify", false, "run statistical certification instead of the paper experiments")
+	certifyScenario := flag.String("certify-scenario", "", "certify this one scenario (empty = the whole registry × policy matrix)")
+	certifyPolicies := flag.String("certify-policies", "", "comma-separated switching policies to certify under (empty = scenario default, or every registered policy in matrix mode)")
+	threshold := flag.Float64("threshold", 1e-3, "crash-probability bound under test")
+	confidence := flag.Float64("confidence", certify.DefaultConfidence, "two-sided confidence level of the interval")
+	maxSeeds := flag.Int("max-seeds", certify.DefaultMaxSeeds, "seed budget per cell")
+	certifyBatch := flag.Int("certify-batch", certify.DefaultBatch, "seeds per sequential batch (the early-stopping granularity)")
+	certifyDuration := flag.Duration("certify-duration", 0, "per-run mission horizon override (0 = scenario default)")
+	certifyActivation := flag.Float64("certify-activation", 0, "sporadic fault model: per-window activation probability (0 or 1 = deterministic profile)")
+	certifyBoost := flag.Float64("certify-boost", 0, "importance sampling: activation boost factor (0 or 1 = plain sampling)")
 	flag.Parse()
 
 	// Profiles cover exactly the selected experiments: the CPU profile starts
@@ -351,6 +375,21 @@ func run() error {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *certifyMode {
+		cell := certify.Config{
+			Threshold:       *threshold,
+			Confidence:      *confidence,
+			MaxSeeds:        *maxSeeds,
+			Batch:           *certifyBatch,
+			Seed:            *seed,
+			Workers:         *workers,
+			Duration:        *certifyDuration,
+			FaultActivation: *certifyActivation,
+			Boost:           *certifyBoost,
+		}
+		return runCertify(ctx, *certifyScenario, *certifyPolicies, cell, *jsonOut)
 	}
 
 	cat := catalogue()
@@ -424,4 +463,106 @@ func run() error {
 		fmt.Printf("[%d experiments took %v total]\n", len(selected), time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// certifyRow is the -certify -json wire row: the deterministic cell result
+// plus the one non-deterministic field, wall time.
+type certifyRow struct {
+	certify.Result
+	WallMS float64 `json:"wall_ms"`
+}
+
+// runCertify runs the certification mode: one cell when a scenario is named
+// (under its registry policy, or once per -certify-policies entry), the full
+// scenario-registry × policy matrix otherwise. Cells print as they finish —
+// an interrupted matrix keeps its completed rows.
+func runCertify(ctx context.Context, scenarioName, policyList string, cell certify.Config, jsonOut bool) error {
+	var policies []string
+	if policyList != "" {
+		for _, p := range strings.Split(policyList, ",") {
+			policies = append(policies, strings.TrimSpace(p))
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	emit := func(res *certify.Result, wall time.Duration) error {
+		if jsonOut {
+			return enc.Encode(certifyRow{Result: *res, WallMS: float64(wall.Microseconds()) / 1000})
+		}
+		fmt.Printf("  %-44s %-10s %-22s %d/%d seeds  %d crashes  est %.3g  [%.3g, %.3g]  %v\n",
+			res.Scenario, res.Policy, res.Verdict, res.Seeds, res.MaxSeeds,
+			res.Crashes, res.Estimate, res.Lo, res.Hi, wall.Round(time.Millisecond))
+		if res.Err != "" {
+			fmt.Printf("    error: %s\n", res.Err)
+		}
+		return nil
+	}
+
+	// Single cell: a named scenario under its own registry policy.
+	if scenarioName != "" && len(policies) <= 1 {
+		if len(policies) == 1 {
+			cell.Overrides.Policy = policies[0]
+		}
+		cell.Scenario = scenarioName
+		start := time.Now()
+		res, err := certify.Certify(ctx, cell)
+		if res == nil {
+			return err
+		}
+		if !jsonOut {
+			fmt.Printf("Certification: crash probability < %v at %v confidence (%s mode, %s interval)\n",
+				res.Threshold, res.Confidence, res.Mode, res.Method)
+		}
+		if emitErr := emit(res, time.Since(start)); emitErr != nil {
+			return emitErr
+		}
+		if err != nil && !jsonOut {
+			fmt.Printf("[interrupted after %d seeds]\n", res.Seeds)
+		}
+		return nil
+	}
+
+	// Matrix mode. Sweep the grid cell by cell (each cell parallelises
+	// internally) so rows stream out as they settle.
+	var scenarios []string
+	if scenarioName != "" {
+		scenarios = []string{scenarioName}
+	}
+	if !jsonOut {
+		fmt.Printf("Certification matrix: crash probability < %v at %v confidence\n", cell.Threshold, cmpConfidence(cell.Confidence))
+	}
+	mc := certify.MatrixConfig{Scenarios: scenarios, Policies: policies, Cell: cell}
+	start := time.Now()
+	res, err := certify.Matrix(ctx, mc)
+	if res == nil {
+		return err
+	}
+	// Matrix wall time is sequential; apportion rows their share only in the
+	// text view, where the column is cosmetic — the JSON rows carry the
+	// whole-sweep average for lack of per-cell timing.
+	per := time.Duration(0)
+	if len(res.Cells) > 0 {
+		per = time.Since(start) / time.Duration(len(res.Cells))
+	}
+	for i := range res.Cells {
+		if emitErr := emit(&res.Cells[i], per); emitErr != nil {
+			return emitErr
+		}
+	}
+	if !jsonOut {
+		fmt.Printf("[%d cells: %d certified, %d refuted, %d inconclusive, %d errored in %v]\n",
+			len(res.Cells), res.Certified, res.Refuted, res.Inconclusive, res.Errored,
+			time.Since(start).Round(time.Millisecond))
+	}
+	if err != nil && !jsonOut {
+		fmt.Printf("[interrupted after %d cells]\n", len(res.Cells))
+	}
+	return nil
+}
+
+// cmpConfidence renders the effective confidence (zero means the default).
+func cmpConfidence(c float64) float64 {
+	if c == 0 {
+		return certify.DefaultConfidence
+	}
+	return c
 }

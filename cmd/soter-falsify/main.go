@@ -154,16 +154,16 @@ func replayCorpus(ctx context.Context, dir string, jsonOut bool) error {
 	failed := 0
 	for _, e := range entries {
 		r := row{Fingerprint: e.Fingerprint, Category: e.Category, Retired: e.Retired}
-		if e.Retired {
-			r.Holds = true // retired entries are documentation, not assertions
-			rows = append(rows, r)
-			continue
-		}
-		v, rerr := e.Replay(ctx)
-		if rerr != nil {
+		v, skipped, rerr := e.Replay(ctx)
+		switch {
+		case rerr != nil:
+			// Includes retirement without a reason: the corpus layer rejects
+			// entries that retire without documenting why.
 			r.Error = rerr.Error()
 			failed++
-		} else {
+		case skipped:
+			r.Holds = true // retired entries are documentation, not assertions
+		default:
 			r.Verdict = v
 			r.Holds = e.StillFalsifies(v)
 			if !r.Holds {

@@ -18,6 +18,17 @@
 //	curl -s localhost:8080/jobs/$id | jq .report # aggregated verdicts
 //	curl -s localhost:8080/stats | jq .cache     # hit/miss counters
 //
+// Besides plain sweep jobs the server runs falsification campaigns (POST
+// /falsify) and statistical certification campaigns (POST /certify — is the
+// cell's crash probability below a threshold at a confidence level?); both
+// stream progress over the same /jobs/{id}/events endpoint and serve their
+// terminal results at /jobs/{id}/report:
+//
+//	cid=$(curl -s -X POST localhost:8080/certify \
+//	    -d '{"scenario":"surveillance-city","duration":"30s","threshold":0.05}' | jq -r .id)
+//	curl -sN localhost:8080/jobs/$cid/events?kinds=certify_progress
+//	curl -s localhost:8080/jobs/$cid/report | jq .verdict
+//
 // SIGINT/SIGTERM shut the server down gracefully: in-flight jobs are
 // cancelled (their partial reports are kept and event streams closed), then
 // the listener drains.

@@ -1,0 +1,74 @@
+package certify
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCertifyDeterministicAcrossWorkers pins the determinism contract: the
+// full Result — verdict, estimate, CI bounds, seeds consumed — and the
+// CertifyProgress stream are byte-identical at workers 1, 4 and GOMAXPROCS,
+// for both the plain and the importance-sampled estimator.
+func TestCertifyDeterministicAcrossWorkers(t *testing.T) {
+	cells := []struct {
+		name string
+		cfg  Config
+	}{
+		{"plain", Config{
+			Scenario:  plantedScenario(t),
+			Threshold: 0.05,
+			MaxSeeds:  48,
+			Batch:     16,
+		}},
+		{"importance", Config{
+			Scenario:        plantedScenario(t),
+			Threshold:       0.05,
+			MaxSeeds:        64,
+			Batch:           32,
+			FaultActivation: 0.8,
+			Boost:           1.05,
+		}},
+	}
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, cell := range cells {
+		t.Run(cell.name, func(t *testing.T) {
+			var refResult, refEvents []byte
+			for _, workers := range workerCounts {
+				rec := &certifyRecorder{}
+				cfg := cell.cfg
+				cfg.Workers = workers
+				cfg.Observers = []obs.Observer{rec}
+				res, err := Certify(context.Background(), cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				gotResult, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotEvents, err := json.Marshal(rec.progress)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if refResult == nil {
+					refResult, refEvents = gotResult, gotEvents
+					if res.Verdict == "" {
+						t.Fatalf("campaign ended without a verdict: %s", gotResult)
+					}
+					continue
+				}
+				if !bytes.Equal(gotResult, refResult) {
+					t.Errorf("workers=%d result diverged:\n  got  %s\n  want %s", workers, gotResult, refResult)
+				}
+				if !bytes.Equal(gotEvents, refEvents) {
+					t.Errorf("workers=%d progress stream diverged:\n  got  %s\n  want %s", workers, gotEvents, refEvents)
+				}
+			}
+		})
+	}
+}

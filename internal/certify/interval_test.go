@@ -1,0 +1,175 @@
+package certify
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden reference values computed independently with mpmath at 50 decimal
+// digits (regularized incomplete beta inverted by root-finding; normal
+// quantiles via erfinv). The 10/100 row cross-checks against R's
+// binom.test (0.04900469, 0.17622260).
+var goldenIntervals = []struct {
+	k, n       int
+	confidence float64
+	cpLo, cpHi float64
+	wLo, wHi   float64
+}{
+	{0, 50, 0.95, 0, 0.0711217364642, 0, 0.0713475991334},
+	{50, 50, 0.95, 0.928878263536, 1, 0.928652400867, 1},
+	{1, 10, 0.95, 0.00252857854446, 0.445016117028, 0.0178762130951, 0.404150026795},
+	{10, 100, 0.95, 0.0490046892215, 0.17622259774, 0.0552291370607, 0.174365661505},
+	{3, 1000, 0.99, 0.000338144529066, 0.0109337774204, 0.000758101231061, 0.0117935166829},
+	{7, 20, 0.90, 0.177310917574, 0.558034511315, 0.202260040057, 0.533487311152},
+	{2, 2000, 0.95, 0.000121127590557, 0.00360762856983, 0.000274278917652, 0.00363893426904},
+	{0, 1, 0.95, 0, 0.975, 0, 0.793450685623},
+	{1, 1, 0.95, 0.025, 1, 0.206549314377, 1},
+	{5, 10, 0.99, 0.128310553935, 0.871689446065, 0.184225518247, 0.815774481753},
+	{0, 2981, 0.95, 0, 0.00123669841261, 0, 0.00128698923333},
+}
+
+const intervalTol = 1e-9
+
+func TestClopperPearsonGolden(t *testing.T) {
+	for _, g := range goldenIntervals {
+		iv := ClopperPearson(g.k, g.n, g.confidence)
+		if math.Abs(iv.Lo-g.cpLo) > intervalTol || math.Abs(iv.Hi-g.cpHi) > intervalTol {
+			t.Errorf("ClopperPearson(%d, %d, %v) = [%.12f, %.12f], want [%.12f, %.12f]",
+				g.k, g.n, g.confidence, iv.Lo, iv.Hi, g.cpLo, g.cpHi)
+		}
+	}
+}
+
+func TestWilsonGolden(t *testing.T) {
+	for _, g := range goldenIntervals {
+		iv := Wilson(g.k, g.n, g.confidence)
+		if math.Abs(iv.Lo-g.wLo) > intervalTol || math.Abs(iv.Hi-g.wHi) > intervalTol {
+			t.Errorf("Wilson(%d, %d, %v) = [%.12f, %.12f], want [%.12f, %.12f]",
+				g.k, g.n, g.confidence, iv.Lo, iv.Hi, g.wLo, g.wHi)
+		}
+	}
+}
+
+// TestClopperPearsonEdgeClosedForms pins the k=0 and k=n boundary rows to
+// their independent closed forms: at k=0 the upper bound is 1−(α/2)^(1/n),
+// at k=n the lower bound is (α/2)^(1/n), and the touched boundary is exact.
+func TestClopperPearsonEdgeClosedForms(t *testing.T) {
+	for _, n := range []int{1, 2, 10, 100, 5000} {
+		for _, conf := range []float64{0.90, 0.95, 0.99} {
+			alpha2 := (1 - conf) / 2
+			zero := ClopperPearson(0, n, conf)
+			if zero.Lo != 0 {
+				t.Errorf("CP(0, %d, %v).Lo = %v, want exactly 0", n, conf, zero.Lo)
+			}
+			if want := 1 - math.Pow(alpha2, 1/float64(n)); math.Abs(zero.Hi-want) > intervalTol {
+				t.Errorf("CP(0, %d, %v).Hi = %.12f, want %.12f", n, conf, zero.Hi, want)
+			}
+			full := ClopperPearson(n, n, conf)
+			if full.Hi != 1 {
+				t.Errorf("CP(%d, %d, %v).Hi = %v, want exactly 1", n, n, conf, full.Hi)
+			}
+			if want := math.Pow(alpha2, 1/float64(n)); math.Abs(full.Lo-want) > intervalTol {
+				t.Errorf("CP(%d, %d, %v).Lo = %.12f, want %.12f", n, n, conf, full.Lo, want)
+			}
+		}
+	}
+}
+
+func TestNormalQuantileGolden(t *testing.T) {
+	for _, g := range []struct{ conf, z float64 }{
+		{0.90, 1.64485362695147},
+		{0.95, 1.95996398454005},
+		{0.99, 2.5758293035489},
+	} {
+		if z := normalQuantile(g.conf); math.Abs(z-g.z) > 1e-10 {
+			t.Errorf("normalQuantile(%v) = %.12f, want %.12f", g.conf, z, g.z)
+		}
+	}
+}
+
+// TestIntervalMonotoneInConfidence is the coverage property: raising the
+// confidence level can only widen an interval — lower bounds are
+// non-increasing and upper bounds non-decreasing in the confidence level,
+// for both constructions, across a sweep of (k, n) cells. The sweep also
+// asserts the basic shape invariants (ordered, inside [0,1], containing the
+// point estimate).
+func TestIntervalMonotoneInConfidence(t *testing.T) {
+	levels := []float64{0.50, 0.80, 0.90, 0.95, 0.975, 0.99, 0.999}
+	cells := []struct{ k, n int }{
+		{0, 1}, {1, 1}, {0, 7}, {7, 7}, {1, 7}, {3, 10}, {5, 50},
+		{0, 400}, {13, 400}, {400, 400}, {199, 400},
+	}
+	for _, c := range cells {
+		for name, f := range map[string]func(k, n int, conf float64) Interval{
+			"clopper-pearson": ClopperPearson,
+			"wilson":          Wilson,
+		} {
+			prev := Interval{Lo: 2, Hi: -1}
+			first := true
+			for _, conf := range levels {
+				iv := f(c.k, c.n, conf)
+				phat := float64(c.k) / float64(c.n)
+				if iv.Lo < 0 || iv.Hi > 1 || iv.Lo > iv.Hi {
+					t.Fatalf("%s(%d, %d, %v) malformed: [%v, %v]", name, c.k, c.n, conf, iv.Lo, iv.Hi)
+				}
+				if phat < iv.Lo-intervalTol || phat > iv.Hi+intervalTol {
+					t.Fatalf("%s(%d, %d, %v) = [%v, %v] excludes point estimate %v",
+						name, c.k, c.n, conf, iv.Lo, iv.Hi, phat)
+				}
+				if !first && (iv.Lo > prev.Lo+intervalTol || iv.Hi < prev.Hi-intervalTol) {
+					t.Fatalf("%s(%d, %d): interval narrowed raising confidence to %v: [%v, %v] after [%v, %v]",
+						name, c.k, c.n, conf, iv.Lo, iv.Hi, prev.Lo, prev.Hi)
+				}
+				prev, first = iv, false
+			}
+		}
+	}
+}
+
+// TestBernsteinShape sanity-checks the empirical-Bernstein bound: it is
+// centred on the mean, widens with variance, range and confidence, shrinks
+// with n, and degenerates to [0,1] below two samples.
+func TestBernsteinShape(t *testing.T) {
+	if iv := bernstein(0.5, 0.25, 1, 1, 0.95); iv.Lo != 0 || iv.Hi != 1 {
+		t.Fatalf("bernstein with n=1 = [%v, %v], want [0, 1]", iv.Lo, iv.Hi)
+	}
+	base := bernstein(0.3, 0.01, 1, 200, 0.95)
+	if base.Lo >= 0.3 || base.Hi <= 0.3 {
+		t.Fatalf("bernstein interval [%v, %v] does not contain the mean", base.Lo, base.Hi)
+	}
+	wider := bernstein(0.3, 0.04, 1, 200, 0.95)
+	if wider.Hi-wider.Lo <= base.Hi-base.Lo {
+		t.Fatalf("bernstein did not widen with variance: [%v, %v] vs [%v, %v]", wider.Lo, wider.Hi, base.Lo, base.Hi)
+	}
+	tighter := bernstein(0.3, 0.01, 1, 800, 0.95)
+	if tighter.Hi-tighter.Lo >= base.Hi-base.Lo {
+		t.Fatalf("bernstein did not shrink with n: [%v, %v] vs [%v, %v]", tighter.Lo, tighter.Hi, base.Lo, base.Hi)
+	}
+	conf := bernstein(0.3, 0.01, 1, 200, 0.99)
+	if conf.Hi-conf.Lo <= base.Hi-base.Lo {
+		t.Fatalf("bernstein did not widen with confidence: [%v, %v] vs [%v, %v]", conf.Lo, conf.Hi, base.Lo, base.Hi)
+	}
+	ranged := bernstein(0.3, 0.01, 4, 200, 0.95)
+	if ranged.Hi-ranged.Lo <= base.Hi-base.Lo {
+		t.Fatalf("bernstein did not widen with range: [%v, %v] vs [%v, %v]", ranged.Lo, ranged.Hi, base.Lo, base.Hi)
+	}
+}
+
+func TestIntervalArgPanics(t *testing.T) {
+	for _, call := range []func(){
+		func() { ClopperPearson(1, 0, 0.95) },
+		func() { ClopperPearson(-1, 10, 0.95) },
+		func() { ClopperPearson(11, 10, 0.95) },
+		func() { ClopperPearson(1, 10, 1.0) },
+		func() { Wilson(1, 10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("malformed interval args did not panic")
+				}
+			}()
+			call()
+		}()
+	}
+}

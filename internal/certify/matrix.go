@@ -1,0 +1,89 @@
+package certify
+
+import (
+	"context"
+
+	"repro/internal/rta"
+	"repro/internal/scenario"
+)
+
+// MatrixConfig sweeps one certification test over a scenarios × policies
+// grid — the registry-wide certification matrix.
+type MatrixConfig struct {
+	// Scenarios lists the base scenarios to certify; empty defaults to every
+	// registered scenario, in registry (sorted) order.
+	Scenarios []string
+	// Policies lists the switching policies to certify each scenario under;
+	// empty defaults to every built-in policy, in registry (sorted) order.
+	Policies []string
+	// Cell is the per-cell test template: threshold, confidence, budget,
+	// batch, seed, workers, duration and fault model. Its Scenario and
+	// Overrides.Policy fields are overwritten per cell.
+	Cell Config
+}
+
+// MatrixResult is the certification matrix: one Result per (scenario,
+// policy) cell, in sweep order, plus verdict tallies. Deterministic like the
+// cells themselves.
+type MatrixResult struct {
+	Threshold    float64  `json:"threshold"`
+	Confidence   float64  `json:"confidence"`
+	Certified    int      `json:"certified"`
+	Refuted      int      `json:"refuted"`
+	Inconclusive int      `json:"inconclusive"`
+	Errored      int      `json:"errored,omitempty"`
+	Cells        []Result `json:"cells"`
+}
+
+// Matrix certifies every cell of the grid, sequentially in grid order (each
+// cell parallelises internally through the fleet). A cell whose
+// configuration is invalid — e.g. importance sampling over a fault-free
+// scenario — is recorded with Verdict "error" rather than aborting the
+// sweep. Cancellation returns the partial matrix with the context's error;
+// the interrupted cell's partial result is included marked inconclusive.
+func Matrix(ctx context.Context, mc MatrixConfig) (*MatrixResult, error) {
+	scenarios := mc.Scenarios
+	if len(scenarios) == 0 {
+		scenarios = scenario.Names()
+	}
+	policies := mc.Policies
+	if len(policies) == 0 {
+		policies = rta.PolicyNames()
+	}
+	out := &MatrixResult{Threshold: mc.Cell.Threshold, Confidence: mc.Cell.Confidence}
+	if out.Confidence == 0 {
+		out.Confidence = DefaultConfidence
+	}
+	for _, sc := range scenarios {
+		for _, pol := range policies {
+			cfg := mc.Cell
+			cfg.Scenario = sc
+			cfg.Overrides.Policy = pol
+			res, err := Certify(ctx, cfg)
+			if res != nil {
+				out.Cells = append(out.Cells, *res)
+			} else {
+				out.Cells = append(out.Cells, Result{
+					Scenario: sc,
+					Policy:   pol,
+					Verdict:  VerdictError,
+					Err:      err.Error(),
+				})
+			}
+			switch out.Cells[len(out.Cells)-1].Verdict {
+			case VerdictCertified:
+				out.Certified++
+			case VerdictRefuted:
+				out.Refuted++
+			case VerdictError:
+				out.Errored++
+			default:
+				out.Inconclusive++
+			}
+			if ctx.Err() != nil {
+				return out, ctx.Err()
+			}
+		}
+	}
+	return out, nil
+}

@@ -88,6 +88,24 @@ func LoadCorpus(dir string) ([]CorpusEntry, error) {
 	return out, nil
 }
 
+// Replay re-executes the entry unless it is retired. A retired entry with a
+// reason is skipped — it is documentation of a fixed defect, not an
+// assertion — and returns skipped=true with a zero Verdict. A retired entry
+// WITHOUT a reason is rejected: retirement must document why the witness no
+// longer reproduces, or the corpus silently rots. Live entries delegate to
+// the counterexample's Replay (shadowed here so corpus consumers get the
+// retirement semantics by default).
+func (e CorpusEntry) Replay(ctx context.Context) (v Verdict, skipped bool, err error) {
+	if e.Retired {
+		if strings.TrimSpace(e.RetiredReason) == "" {
+			return Verdict{}, false, fmt.Errorf("falsify: corpus entry %s is retired without a reason — document the fix it witnessed or un-retire it", e.Fingerprint)
+		}
+		return Verdict{}, true, nil
+	}
+	v, err = e.Counterexample.Replay(ctx)
+	return v, false, err
+}
+
 // Rebuild resolves the counterexample back into the concrete Spec it was
 // found on: registry base + Params delta, φInv monitor forced on (the
 // campaign instrument is part of the counterexample's identity).

@@ -109,9 +109,12 @@ func TestCorpusReplayCycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := loaded[0]
-	v, err := e.Replay(context.Background())
+	v, skipped, err := e.Replay(context.Background())
 	if err != nil {
 		t.Fatal(err)
+	}
+	if skipped {
+		t.Fatal("live entry skipped as retired")
 	}
 	if !e.StillFalsifies(v) {
 		t.Errorf("loaded counterexample no longer falsifies: filed %q, replayed %+v", e.Category, v)
@@ -179,19 +182,53 @@ func TestCommittedCorpusReplays(t *testing.T) {
 	}
 	for _, e := range entries {
 		t.Run(e.Fingerprint, func(t *testing.T) {
-			if e.Retired {
-				if e.RetiredReason == "" {
-					t.Error("retired without a reason")
-				}
-				return
-			}
-			v, err := e.Replay(context.Background())
+			v, skipped, err := e.Replay(context.Background())
 			if err != nil {
 				t.Fatal(err)
+			}
+			if skipped {
+				return // retired with a reason: documentation, not an assertion
 			}
 			if !e.StillFalsifies(v) {
 				t.Errorf("entry no longer falsifies: filed %q, replay verdict %+v — fix confirmed? retire the entry with a reason", e.Category, v)
 			}
 		})
+	}
+}
+
+// TestReplayRetirementPath pins the corpus retirement semantics: a retired
+// entry with a reason is skipped without being executed (no error even when
+// the underlying counterexample could never replay), and a retired entry
+// without a reason is rejected.
+func TestReplayRetirementPath(t *testing.T) {
+	// The fingerprint deliberately resolves to nothing replayable: if the
+	// skip path ever tried to execute the entry, it would error loudly.
+	retired := CorpusEntry{
+		Counterexample: Counterexample{
+			Scenario:    "no-such-base",
+			Fingerprint: "feedfacefeedface",
+			Category:    CategoryCrash,
+		},
+		Retired:       true,
+		RetiredReason: "defect fixed by the clamp ordering change",
+	}
+	v, skipped, err := retired.Replay(context.Background())
+	if err != nil {
+		t.Fatalf("retired entry with a reason errored: %v", err)
+	}
+	if !skipped {
+		t.Fatal("retired entry with a reason was not skipped")
+	}
+	if v != (Verdict{}) {
+		t.Fatalf("skipped entry carries a verdict: %+v", v)
+	}
+
+	for _, reason := range []string{"", "   "} {
+		noReason := retired
+		noReason.RetiredReason = reason
+		if _, _, err := noReason.Replay(context.Background()); err == nil ||
+			!strings.Contains(err.Error(), "without a reason") {
+			t.Errorf("retired entry with reason %q replayed to %v, want rejection", reason, err)
+		}
 	}
 }

@@ -267,6 +267,11 @@ func runOne(ctx context.Context, i int, m Mission, opts Options) MissionResult {
 // the feed: indices not yet handed to a worker fail with the context's
 // error; indices already in flight run fn to completion (fn receives the
 // context and is expected to honour it).
+//
+// Index-ordered collection is what lets callers build worker-count-invariant
+// results on top: internal/certify folds each Map batch into its estimator
+// strictly in index order, so a certification verdict never depends on which
+// worker finished first. Keep that property when changing Map.
 func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil

@@ -44,6 +44,7 @@ var Deterministic = map[string]bool{
 	"sim": true, "fleet": true, "rta": true, "runtime": true,
 	"plant": true, "pubsub": true, "scenario": true, "plan": true,
 	"mission": true, "reach": true, "battery": true, "falsify": true,
+	"certify": true,
 }
 
 // allowedRand lists the math/rand top-level functions that construct

@@ -49,6 +49,7 @@ const (
 	KindLanded
 	KindCampaignProgress
 	KindCounterexample
+	KindCertifyProgress
 	numKinds
 )
 
@@ -77,6 +78,7 @@ var kindNames = [numKinds]string{
 	KindLanded:             "landed",
 	KindCampaignProgress:   "campaign_progress",
 	KindCounterexample:     "counterexample",
+	KindCertifyProgress:    "certify_progress",
 }
 
 // KindSet is a bitmask of event kinds. Observers may narrow the kinds they
@@ -258,6 +260,36 @@ type CounterexampleFound struct {
 	Severity float64 `json:"severity"`
 }
 
+// CertifyProgress reports the state of a statistical certification campaign
+// after a batch of seed evaluations: the crash-probability estimate with its
+// narrowing confidence interval against the target threshold. T is the
+// certification pseudo-clock — seeds consumed, expressed as nanoseconds —
+// so streams stay monotone and deterministic without consulting a wall
+// clock. Verdict is empty while the campaign is still running and carries
+// the terminal verdict ("certified", "refuted", "inconclusive-at-budget")
+// on the final event.
+type CertifyProgress struct {
+	T time.Duration `json:"t_ns"`
+	// Scenario is the certified cell's base scenario.
+	Scenario string `json:"scenario,omitempty"`
+	// Policy is the cell's canonical switching-policy spec.
+	Policy string `json:"policy,omitempty"`
+	// Seeds is the number of seeds consumed so far; MaxSeeds the budget.
+	Seeds    int `json:"seeds"`
+	MaxSeeds int `json:"max_seeds"`
+	// Crashes is the raw crash count among evaluated runs.
+	Crashes int `json:"crashes"`
+	// Estimate is the crash-probability estimate (weighted in the
+	// importance-sampling mode); [Lo, Hi] its confidence interval.
+	Estimate float64 `json:"estimate"`
+	Lo       float64 `json:"lo"`
+	Hi       float64 `json:"hi"`
+	// Threshold is the crash-probability bound being tested.
+	Threshold float64 `json:"threshold"`
+	// Verdict is the terminal verdict; empty until the campaign concludes.
+	Verdict string `json:"verdict,omitempty"`
+}
+
 // Kind implements Event.
 func (RunStart) Kind() Kind            { return KindRunStart }
 func (RunEnd) Kind() Kind              { return KindRunEnd }
@@ -271,6 +303,7 @@ func (Crash) Kind() Kind               { return KindCrash }
 func (Landed) Kind() Kind              { return KindLanded }
 func (CampaignProgress) Kind() Kind    { return KindCampaignProgress }
 func (CounterexampleFound) Kind() Kind { return KindCounterexample }
+func (CertifyProgress) Kind() Kind     { return KindCertifyProgress }
 
 // Time implements Event.
 func (e RunStart) Time() time.Duration            { return e.T }
@@ -285,3 +318,4 @@ func (e Crash) Time() time.Duration               { return e.T }
 func (e Landed) Time() time.Duration              { return e.T }
 func (e CampaignProgress) Time() time.Duration    { return e.T }
 func (e CounterexampleFound) Time() time.Duration { return e.T }
+func (e CertifyProgress) Time() time.Duration     { return e.T }

@@ -64,6 +64,8 @@ func UnmarshalEvent(line []byte) (Event, error) {
 		return decodeAs[CampaignProgress](line)
 	case kindNames[KindCounterexample]:
 		return decodeAs[CounterexampleFound](line)
+	case kindNames[KindCertifyProgress]:
+		return decodeAs[CertifyProgress](line)
 	default:
 		return nil, fmt.Errorf("obs: unknown event kind %q", head.Kind)
 	}

@@ -292,9 +292,23 @@ func (s Spec) StackConfig(seed int64) (mission.StackConfig, error) {
 // run knobs. Every stochastic component is seeded from the single seed, so
 // the same (Spec, seed) pair always denotes the same mission.
 func (s Spec) Build(seed int64) (sim.RunConfig, error) {
+	return s.BuildWith(seed, nil)
+}
+
+// BuildWith compiles like Build but hands the compiled StackConfig to tweak
+// before the stack is assembled. It is the seam between the declarative spec
+// layer and callers that need a sampled variation of a spec — the
+// certification layer thins the fault-window schedule here for its sporadic
+// fault model and importance-sampled runs. A nil tweak is exactly Build.
+// Tweaked runs are NOT covered by the spec's canonical fingerprint; callers
+// own any caching of their variations.
+func (s Spec) BuildWith(seed int64, tweak func(*mission.StackConfig)) (sim.RunConfig, error) {
 	cfg, err := s.StackConfig(seed)
 	if err != nil {
 		return sim.RunConfig{}, err
+	}
+	if tweak != nil {
+		tweak(&cfg)
 	}
 	st, err := mission.Build(cfg)
 	if err != nil {

@@ -1,0 +1,168 @@
+package service
+
+import (
+	"context"
+	goruntime "runtime"
+	"time"
+
+	"repro/internal/certify"
+	"repro/internal/falsify"
+	"repro/internal/obs"
+)
+
+// CertifyJobSpec is a certification request — the third job type the server
+// runs. Where a sweep job reports per-seed verdicts and a falsify job hunts
+// counterexamples, a certify job answers a statistical question: is the
+// cell's crash probability below the threshold at the requested confidence?
+// Progress streams as certify_progress events (one per batch) over the same
+// JSONL event endpoints; the terminal certify.Result is served by
+// GET /jobs/{id}/report.
+type CertifyJobSpec struct {
+	// Scenario names the base scenario of the certified cell.
+	Scenario string `json:"scenario"`
+	// Overrides is the declarative spec delta defining the cell — the same
+	// Params form falsification counterexamples carry, so a falsified cell
+	// pastes straight into a certification request.
+	Overrides falsify.Params `json:"overrides,omitzero"`
+	// Threshold is the crash-probability bound under test, in (0,1). Required.
+	Threshold float64 `json:"threshold"`
+	// Confidence is the two-sided confidence level; zero defaults to
+	// certify.DefaultConfidence.
+	Confidence float64 `json:"confidence,omitempty"`
+	// MaxSeeds bounds the sweep; zero defaults to certify.DefaultMaxSeeds.
+	MaxSeeds int `json:"max_seeds,omitempty"`
+	// Batch is the early-stopping granularity; zero defaults to
+	// certify.DefaultBatch.
+	Batch int `json:"batch,omitempty"`
+	// Seed is the base of the deterministic seed sequence; zero defaults to 1.
+	Seed int64 `json:"seed,omitempty"`
+	// Duration overrides the cell's mission horizon.
+	Duration Duration `json:"duration,omitempty"`
+	// FaultActivation (<1) switches the spec's fault profile to the sporadic
+	// model; Boost (>1) adds importance sampling on top. See certify.Config.
+	FaultActivation float64 `json:"fault_activation,omitempty"`
+	Boost           float64 `json:"boost,omitempty"`
+	// Workers bounds the campaign's evaluation pool (never raised above the
+	// server's own bound). Worker count never changes certification results.
+	Workers int `json:"workers,omitempty"`
+}
+
+// config compiles the wire spec into a campaign configuration.
+func (cs CertifyJobSpec) config() certify.Config {
+	return certify.Config{
+		Scenario:        cs.Scenario,
+		Overrides:       cs.Overrides,
+		Threshold:       cs.Threshold,
+		Confidence:      cs.Confidence,
+		MaxSeeds:        cs.MaxSeeds,
+		Batch:           cs.Batch,
+		Seed:            cs.Seed,
+		Duration:        time.Duration(cs.Duration),
+		FaultActivation: cs.FaultActivation,
+		Boost:           cs.Boost,
+	}
+}
+
+// maxSeeds resolves the effective seed budget (the job's cell total).
+func (cs CertifyJobSpec) maxSeeds() int {
+	if cs.MaxSeeds > 0 {
+		return cs.MaxSeeds
+	}
+	return certify.DefaultMaxSeeds
+}
+
+// SubmitCertify validates a certification request and enqueues it on the same
+// job queue as sweep and falsify jobs — one runner pool, one retention table,
+// one event fan-out mechanism.
+func (s *Server) SubmitCertify(spec CertifyJobSpec) (*Job, error) {
+	if err := spec.config().Validate(); err != nil {
+		return nil, err
+	}
+	return s.enqueue(func(id string) *Job {
+		return &Job{
+			id:      id,
+			certify: &spec,
+			fan:     newFanout(s.cfg.EventRing),
+			created: time.Now(),
+			status:  StatusQueued,
+		}
+	})
+}
+
+// runCertifyJob executes one certification campaign. The job's fan-out is
+// wired straight into the engine's observer list, so CertifyProgress events
+// stream to /jobs/{id}/events subscribers exactly like sweep events do; a
+// second tap keeps the job's progress counters live. A cancelled campaign
+// keeps the partial (inconclusive) result it accumulated.
+func (s *Server) runCertifyJob(job *Job) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	if !job.begin(cancel) {
+		job.finish(nil, context.Canceled)
+		return
+	}
+	cfg := job.certify.config()
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = goruntime.GOMAXPROCS(0)
+	}
+	if job.certify.Workers > 0 && job.certify.Workers < workers {
+		workers = job.certify.Workers
+	}
+	cfg.Workers = workers
+	cfg.Observers = []obs.Observer{job.fan, certifyTap{job}}
+	res, err := certify.Certify(ctx, cfg)
+	job.finishCertify(res, err, ctx.Err())
+}
+
+// certifyTap mirrors campaign progress into the job's cell counters so
+// polling clients (GET /jobs/{id}) see seeds/budget without subscribing to
+// the event stream.
+type certifyTap struct{ job *Job }
+
+// Interests implements obs.Interested.
+func (t certifyTap) Interests() obs.KindSet {
+	return obs.Kinds(obs.KindCertifyProgress)
+}
+
+// OnEvent implements obs.Observer.
+func (t certifyTap) OnEvent(e obs.Event) {
+	if p, ok := e.(obs.CertifyProgress); ok {
+		t.job.certifyProgress(p.Seeds)
+	}
+}
+
+// certifyProgress records the latest campaign seed count.
+func (j *Job) certifyProgress(seeds int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cellsDone = seeds
+}
+
+// certifyReport returns the campaign result, or nil while the job runs.
+func (j *Job) certifyReport() *certify.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.certifyResult
+}
+
+// finishCertify records the campaign's terminal state. A cancelled campaign
+// carries both a partial result and the cancellation error, so the job keeps
+// the inconclusive partial while still reporting cancelled status.
+func (j *Job) finishCertify(res *certify.Result, err, ctxErr error) {
+	j.mu.Lock()
+	j.certifyResult = res
+	j.finished = time.Now()
+	switch {
+	case ctxErr != nil || j.status == StatusCancelled:
+		j.status = StatusCancelled
+		j.err = context.Canceled
+	case err != nil:
+		j.status = StatusFailed
+		j.err = err
+	default:
+		j.status = StatusDone
+	}
+	j.mu.Unlock()
+	j.fan.Close()
+}

@@ -17,6 +17,7 @@ var StreamKinds = obs.Kinds(
 	obs.KindRunStart, obs.KindRunEnd, obs.KindModeSwitch,
 	obs.KindInvariantViolation, obs.KindCrash, obs.KindLanded,
 	obs.KindCampaignProgress, obs.KindCounterexample,
+	obs.KindCertifyProgress,
 )
 
 // fanout broadcasts a job's event stream to any number of HTTP subscribers —

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/certify"
 	"repro/internal/falsify"
 	"repro/internal/fleet"
 	"repro/internal/obs"
@@ -18,22 +19,25 @@ import (
 )
 
 // JobView is the JSON projection of a Job returned by the job endpoints.
-// Exactly one of Spec and Falsify is populated, matching the job type.
+// Exactly one of Spec, Falsify and Certify is populated, matching the job
+// type.
 type JobView struct {
 	ID       string          `json:"id"`
 	Scenario string          `json:"scenario"`
 	Status   Status          `json:"status"`
 	Spec     JobSpec         `json:"spec,omitzero"`
 	Falsify  *FalsifyJobSpec `json:"falsify,omitempty"`
+	Certify  *CertifyJobSpec `json:"certify,omitempty"`
 	Cells    CellsView       `json:"cells"`
 	Created  time.Time       `json:"created"`
 	Started  time.Time       `json:"started,omitzero"`
 	Finished time.Time       `json:"finished,omitzero"`
 	Error    string          `json:"error,omitempty"`
 	// Report is present once a sweep job reached a terminal state;
-	// FalsifyResult is its campaign-job counterpart.
+	// FalsifyResult and CertifyResult are its campaign-job counterparts.
 	Report        *ReportView     `json:"report,omitempty"`
 	FalsifyResult *falsify.Result `json:"falsify_result,omitempty"`
+	CertifyResult *certify.Result `json:"certify_result,omitempty"`
 }
 
 // CellsView is the job's grid-cell progress.
@@ -134,13 +138,23 @@ func (j *Job) view() JobView {
 		// A campaign's "cells" are its execution budget.
 		v.Cells = CellsView{Total: j.falsify.budget(), Done: j.cellsDone}
 	}
+	if j.certify != nil {
+		v.Scenario = j.certify.Scenario
+		v.Certify = j.certify
+		// A certification's "cells" are its seed budget; early stopping
+		// legitimately finishes with Done < Total.
+		v.Cells = CellsView{Total: j.certify.maxSeeds(), Done: j.cellsDone}
+	}
 	if j.err != nil {
 		v.Error = j.err.Error()
 	}
 	if j.status.Terminal() {
-		if j.falsify != nil {
+		switch {
+		case j.falsify != nil:
 			v.FalsifyResult = j.falsifyResult
-		} else {
+		case j.certify != nil:
+			v.CertifyResult = j.certifyResult
+		default:
 			v.Report = reportView(j.report, j.policyName())
 		}
 	}
@@ -174,6 +188,7 @@ type scenarioView struct {
 //	GET    /stats               cache counters and job tallies
 //	POST   /jobs                submit a JobSpec; 202 + JobView
 //	POST   /falsify             submit a FalsifyJobSpec; 202 + JobView
+//	POST   /certify             submit a CertifyJobSpec; 202 + JobView
 //	GET    /falsify/strategies  the falsification strategy catalog
 //	GET    /jobs                list jobs (both types)
 //	GET    /jobs/{id}           job status, progress and (when done) result
@@ -245,6 +260,25 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusAccepted, job.view())
 	})
+	mux.HandleFunc("POST /certify", func(w http.ResponseWriter, r *http.Request) {
+		var spec CertifyJobSpec
+		dec := json.NewDecoder(r.Body)
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decode certify spec: %w", err))
+			return
+		}
+		job, err := s.SubmitCertify(spec)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrBusy) || errors.Is(err, ErrClosed) {
+				status = http.StatusServiceUnavailable
+			}
+			writeErr(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job.view())
+	})
 	mux.HandleFunc("GET /falsify/strategies", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, falsify.StrategyNames())
 	})
@@ -275,6 +309,10 @@ func (s *Server) Handler() http.Handler {
 		}
 		if j.falsify != nil {
 			writeJSON(w, http.StatusOK, j.falsifyReport())
+			return
+		}
+		if j.certify != nil {
+			writeJSON(w, http.StatusOK, j.certifyReport())
 			return
 		}
 		writeJSON(w, http.StatusOK, reportView(j.Report(), j.policyName()))

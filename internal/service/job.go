@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/certify"
 	"repro/internal/falsify"
 	"repro/internal/fleet"
 	"repro/internal/mission"
@@ -255,8 +256,8 @@ type cellResult struct {
 
 // Job is one submitted batch with its live state. All mutable fields are
 // guarded by mu; the event fan-out has its own synchronization. Exactly one
-// of the two request forms is set: spec (a fleet sweep) or falsify (a
-// falsification campaign).
+// of the three request forms is set: spec (a fleet sweep), falsify (a
+// falsification campaign) or certify (a certification campaign).
 type Job struct {
 	id       string
 	spec     JobSpec
@@ -264,6 +265,7 @@ type Job struct {
 	seeds    []int64
 	keys     []string // per-seed cache keys, aligned with seeds
 	falsify  *FalsifyJobSpec
+	certify  *CertifyJobSpec
 	fan      *fanout
 	created  time.Time
 
@@ -274,6 +276,7 @@ type Job struct {
 	cancel        func()
 	report        *fleet.Report
 	falsifyResult *falsify.Result
+	certifyResult *certify.Result
 	falsifyFound  int
 	err           error
 	cellsDone     int

@@ -331,13 +331,17 @@ func (s *Server) runner() {
 }
 
 // runJob dispatches a dequeued job to its executor: falsification campaigns
-// to the falsify engine, everything else to the fleet sweep below.
+// to the falsify engine, certification campaigns to the certify engine,
+// everything else to the fleet sweep below.
 func (s *Server) runJob(job *Job) {
-	if job.falsify != nil {
+	switch {
+	case job.falsify != nil:
 		s.runFalsifyJob(job)
-		return
+	case job.certify != nil:
+		s.runCertifyJob(job)
+	default:
+		s.runSweepJob(job)
 	}
-	s.runSweepJob(job)
 }
 
 // runSweepJob executes one batch job over the fleet engine with the cache

@@ -65,6 +65,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/certify"
 	"repro/internal/falsify"
 	"repro/internal/node"
 	"repro/internal/obs"
@@ -184,6 +185,8 @@ type (
 	CampaignProgressEvent = obs.CampaignProgress
 	// CounterexampleFoundEvent reports one distinct falsification find.
 	CounterexampleFoundEvent = obs.CounterexampleFound
+	// CertifyProgressEvent reports a certification campaign's per-batch state.
+	CertifyProgressEvent = obs.CertifyProgress
 )
 
 // Event kinds, for KindSet subscriptions.
@@ -200,6 +203,7 @@ const (
 	KindLanded             = obs.KindLanded
 	KindCampaignProgress   = obs.KindCampaignProgress
 	KindCounterexample     = obs.KindCounterexample
+	KindCertifyProgress    = obs.KindCertifyProgress
 )
 
 // Kinds builds a KindSet from the listed kinds; AllKinds selects every kind.
@@ -312,6 +316,49 @@ func FalsifyStrategyNames() []string { return falsify.StrategyNames() }
 // explicit ("" → "random", "guided" → "guided:8").
 func CanonicalFalsifyStrategySpec(spec string) (string, error) {
 	return falsify.CanonicalStrategySpec(spec)
+}
+
+// Certification vocabulary, re-exported from internal/certify: statistical
+// crash-probability certification of (scenario, overrides, policy) cells by
+// sequential seed sweeps with early stopping — "crash probability < 1e-3 at
+// 95% confidence" as a first-class, deterministic verdict. The serving layer
+// runs the same engine as POST /certify jobs (CertifyJobSpec below).
+type (
+	// CertifyConfig configures one certification cell and its test.
+	CertifyConfig = certify.Config
+	// CertifyResult is a certification campaign's deterministic summary.
+	CertifyResult = certify.Result
+	// CertifyVerdict is the campaign's terminal answer.
+	CertifyVerdict = certify.Verdict
+	// CertifyInterval is a confidence interval on the crash probability.
+	CertifyInterval = certify.Interval
+	// CertifyMatrixConfig sweeps one test over a scenarios × policies grid.
+	CertifyMatrixConfig = certify.MatrixConfig
+	// CertifyMatrixResult is the certification matrix with verdict tallies.
+	CertifyMatrixResult = certify.MatrixResult
+	// CertifyJobSpec is the serving layer's certification request.
+	CertifyJobSpec = service.CertifyJobSpec
+)
+
+// Certification verdicts.
+const (
+	// CertifiedVerdict: the interval's upper bound is below the threshold.
+	CertifiedVerdict = certify.VerdictCertified
+	// RefutedVerdict: the interval's lower bound is above the threshold.
+	RefutedVerdict = certify.VerdictRefuted
+	// InconclusiveVerdict: the budget ran out with the interval straddling.
+	InconclusiveVerdict = certify.VerdictInconclusive
+)
+
+// Certify runs one certification campaign to completion, early stop, or
+// cancellation (returning the partial result marked inconclusive).
+func Certify(ctx context.Context, cfg CertifyConfig) (*CertifyResult, error) {
+	return certify.Certify(ctx, cfg)
+}
+
+// CertifyMatrix certifies every cell of a scenarios × policies grid.
+func CertifyMatrix(ctx context.Context, mc CertifyMatrixConfig) (*CertifyMatrixResult, error) {
+	return certify.Matrix(ctx, mc)
 }
 
 // Modes.
