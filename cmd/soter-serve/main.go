@@ -16,7 +16,17 @@
 //	    -d '{"scenario":"surveillance-city","overrides":{"duration":"30s"},"seed_count":8}' | jq -r .id)
 //	curl -sN localhost:8080/jobs/$id/events      # live JSONL event stream
 //	curl -s localhost:8080/jobs/$id | jq .report # aggregated verdicts
-//	curl -s localhost:8080/stats | jq .cache     # hit/miss counters
+//	curl -s localhost:8080/stats | jq .store     # per-tier hit/miss counters
+//
+// Results live in a tiered content-addressed store (internal/store). With
+// -store-dir the store gains a crash-safe disk tier: a restarted server
+// answers previous sweeps without simulating. With -peers a group of servers
+// forms one logical cache — missing results are fetched from the sibling
+// that computed them (GET /store/{key}, rendezvous-hashed per fingerprint)
+// before falling back to local compute:
+//
+//	soter-serve -addr :8080 -store-dir /var/soter/a -peers http://localhost:8081 &
+//	soter-serve -addr :8081 -store-dir /var/soter/b -peers http://localhost:8080 &
 //
 // Besides plain sweep jobs the server runs falsification campaigns (POST
 // /falsify) and statistical certification campaigns (POST /certify — is the
@@ -42,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -63,16 +74,31 @@ func run() error {
 		workers  = flag.Int("workers", 0, "fleet workers per job (0 = GOMAXPROCS)")
 		jobs     = flag.Int("jobs", 1, "jobs running concurrently")
 		queue    = flag.Int("queue", 64, "max queued jobs")
-		cacheCap = flag.Int("cache", service.DefaultCacheEntries, "result cache entries (LRU bound)")
+		cacheCap = flag.Int("cache", 0, "result store memory-tier entries (LRU bound; 0 = default)")
+		storeDir = flag.String("store-dir", "", "result store disk-tier directory (empty = memory only; results survive restarts)")
+		storeMax = flag.Int64("store-max-bytes", 0, "disk-tier byte bound (0 = default 1 GiB); LRU-by-atime eviction beyond it")
+		peers    = flag.String("peers", "", "comma-separated sibling soter-serve base URLs (e.g. http://10.0.0.2:8080); missing results are fetched from peers before simulating")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	svc, err := service.New(service.Config{
 		Workers:        *workers,
 		JobConcurrency: *jobs,
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheCap,
+		StoreDir:       *storeDir,
+		StoreMaxBytes:  *storeMax,
+		Peers:          peerList,
 	})
+	if err != nil {
+		return err
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -16,6 +16,7 @@ import (
 	"repro/internal/rta"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/store"
 
 	"repro/internal/falsify"
 )
@@ -96,6 +97,16 @@ type Config struct {
 	// Observers receive the campaign's CertifyProgress stream (one event per
 	// batch, terminal verdict on the last) on the campaign goroutine.
 	Observers []obs.Observer
+	// Store, when non-nil, shares mission verdicts with the serving layer's
+	// tiered result store. It is consulted only when the fault model is
+	// deterministic (FaultActivation == 1, no boost): such a cell's runs are
+	// plain (spec, seed) missions with the same fingerprints as sweep-job
+	// cells, so a certification after a warm sweep consumes stored outcomes
+	// instead of fresh simulations — and its own fresh runs warm the store
+	// for later sweeps. Sporadic or boosted runs alter the mission (thinned
+	// fault windows) and never touch the store. Reuse never changes the
+	// Result: a stored verdict is byte-identical to a fresh run's.
+	Store *store.Tiered
 }
 
 // Result is a certification campaign's deterministic summary: given the same
@@ -278,8 +289,13 @@ func (c *campaign) run(ctx context.Context) (*Result, error) {
 			n = rem
 		}
 		first := c.seeds
+		keys := c.batchKeys(first, n)
 		outs, _ := fleet.Map(ctx, c.cfg.Workers, n, func(ctx context.Context, i int) (runOutcome, error) {
-			return c.evaluateOne(ctx, first+i), nil
+			key := ""
+			if keys != nil {
+				key = keys[i]
+			}
+			return c.evaluateOne(ctx, first+i, key), nil
 		})
 		if err := ctx.Err(); err != nil {
 			res := c.result(VerdictInconclusive)
@@ -309,10 +325,54 @@ type runOutcome struct {
 	err     error
 }
 
-// evaluateOne builds and simulates run idx. Runs inside a fleet worker.
-func (c *campaign) evaluateOne(ctx context.Context, idx int) runOutcome {
+// reusable reports whether the campaign's runs share fingerprints with
+// ordinary sweep missions — a deterministic fault model (no thinning, no
+// boost) means BuildWith applies no tweak, so the run is exactly the sweep
+// mission of (spec, seed) and the result store applies.
+func (c *campaign) reusable() bool {
+	return c.cfg.Store != nil && c.p >= 1 && c.q <= 1
+}
+
+// batchKeys fingerprints the batch's seeds for the result store, or returns
+// nil when the store does not apply (sporadic/boosted cells, no store). A
+// fingerprint failure disables reuse for the batch rather than failing it —
+// the campaign can always just simulate.
+func (c *campaign) batchKeys(first, n int) []string {
+	if !c.reusable() {
+		return nil
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = c.cfg.Seed + int64(first+i)*101
+	}
+	keys, err := c.spec.Fingerprints(seeds)
+	if err != nil {
+		return nil
+	}
+	return keys
+}
+
+// evaluateOne builds and simulates run idx. Runs inside a fleet worker. A
+// non-empty key routes the run through the result store's singleflight
+// group: a stored verdict is consumed without simulating, a miss elects this
+// run the fill leader and its fresh verdict is stored for every later
+// consumer (sweep jobs included).
+func (c *campaign) evaluateOne(ctx context.Context, idx int, key string) runOutcome {
 	seed := c.cfg.Seed + int64(idx)*101
 	out := runOutcome{weight: 1, wmax: 1}
+	var fill *store.Fill
+	if key != "" {
+		val, f := c.cfg.Store.Acquire(ctx, key)
+		if f == nil && val != nil {
+			if p, err := store.DecodePayload(val); err == nil {
+				out.crashed = p.Metrics.Crashed
+				return out
+			}
+			// Undecodable entry: fall through and simulate (without a fill —
+			// the singleflight slot already resolved for this acquire).
+		}
+		fill = f // nil when cancelled while waiting: simulate uncached
+	}
 	var tweak func(*mission.StackConfig)
 	if c.q < 1 || c.p < 1 {
 		tweak = func(sc *mission.StackConfig) {
@@ -322,6 +382,9 @@ func (c *campaign) evaluateOne(ctx context.Context, idx int) runOutcome {
 	rc, err := c.spec.BuildWith(seed, tweak)
 	if err != nil {
 		out.err = err
+		if fill != nil {
+			fill.Abort()
+		}
 		return out
 	}
 	rc.Context = ctx
@@ -329,9 +392,19 @@ func (c *campaign) evaluateOne(ctx context.Context, idx int) runOutcome {
 	res, err := sim.Run(rc)
 	if err != nil {
 		out.err = err
+		if fill != nil {
+			fill.Abort()
+		}
 		return out
 	}
 	out.crashed = res.Metrics.Crashed
+	if fill != nil {
+		if raw, err := (store.Payload{Metrics: res.Metrics, Switches: res.Switches}).Encode(); err == nil {
+			fill.Complete(ctx, raw)
+		} else {
+			fill.Abort()
+		}
+	}
 	return out
 }
 

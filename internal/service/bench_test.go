@@ -56,7 +56,10 @@ func runSweep(tb testing.TB, svc *Server, specs []JobSpec) (done, cached int) {
 // repeated registry-wide sweep is answered from the deterministic result
 // cache at least 10x faster than the cold run that populated it.
 func TestWarmCacheSpeedup(t *testing.T) {
-	svc := New(Config{JobConcurrency: 2})
+	svc, err := New(Config{JobConcurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer svc.Close()
 	specs := sweepSpecs(2*time.Second, []int64{1, 2})
 
@@ -81,13 +84,20 @@ func TestWarmCacheSpeedup(t *testing.T) {
 
 // BenchmarkRegistrySweep measures the registry-wide sweep cold (every cell
 // simulated) and warm (every cell answered from the deterministic result
-// cache) — the speedup is the serving layer's reason to exist.
+// store) — the speedup is the serving layer's reason to exist.
 func BenchmarkRegistrySweep(b *testing.B) {
 	specs := sweepSpecs(time.Second, []int64{1})
+	newServer := func(b *testing.B) *Server {
+		svc, err := New(Config{JobConcurrency: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return svc
+	}
 	b.Run("cold", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			b.StopTimer()
-			svc := New(Config{JobConcurrency: 2})
+			svc := newServer(b)
 			b.StartTimer()
 			runSweep(b, svc, specs)
 			b.StopTimer()
@@ -96,7 +106,7 @@ func BenchmarkRegistrySweep(b *testing.B) {
 		}
 	})
 	b.Run("warm", func(b *testing.B) {
-		svc := New(Config{JobConcurrency: 2})
+		svc := newServer(b)
 		defer svc.Close()
 		runSweep(b, svc, specs) // populate
 		b.ResetTimer()

@@ -111,6 +111,11 @@ func (s *Server) runCertifyJob(job *Job) {
 	}
 	cfg.Workers = workers
 	cfg.Observers = []obs.Observer{job.fan, certifyTap{job}}
+	// Deterministic cells (FaultActivation == 1, no boost) share fingerprints
+	// with sweep jobs, so a certification after a warm sweep consumes stored
+	// outcomes instead of fresh simulations; the engine ignores the store for
+	// sporadic/boosted cells.
+	cfg.Store = s.store
 	res, err := certify.Certify(ctx, cfg)
 	job.finishCertify(res, err, ctx.Err())
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/rta"
 	"repro/internal/scenario"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // JobView is the JSON projection of a Job returned by the job endpoints.
@@ -195,6 +196,8 @@ type scenarioView struct {
 //	GET    /jobs/{id}/events    the job's event stream as JSON Lines
 //	GET    /jobs/{id}/report    the report/result alone; 409 until terminal
 //	POST   /jobs/{id}/cancel    cancel (also DELETE /jobs/{id})
+//	GET    /store/{key}         raw result bytes by fingerprint — the peer
+//	                            protocol (local tiers only, never recursive)
 //	GET    /debug/pprof/...     live runtime profiles (CPU, heap, goroutine)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -221,6 +224,26 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	// The peer protocol: siblings configured with this server in their -peers
+	// list fetch result bytes here. Only the local tiers (memory, disk) are
+	// consulted, so a peer lookup can never recurse into further peer
+	// lookups; the checksum header lets the fetcher reject garbled bodies.
+	mux.HandleFunc("GET /store/{key}", func(w http.ResponseWriter, r *http.Request) {
+		key := r.PathValue("key")
+		if !store.ValidKey(key) {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("malformed store key %q", key))
+			return
+		}
+		val, ok := s.store.GetLocal(r.Context(), key)
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no entry for %s", key))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(store.SumHeader, store.Sum(val))
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(val)
 	})
 	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
 		var spec JobSpec

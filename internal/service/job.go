@@ -12,9 +12,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/mission"
 	"repro/internal/plan"
-	soterruntime "repro/internal/runtime"
 	"repro/internal/scenario"
-	"repro/internal/sim"
 )
 
 // Status is a job's lifecycle state.
@@ -244,14 +242,6 @@ func (js JobSpec) resolve() (scenario.Spec, []int64, []string, error) {
 		return scenario.Spec{}, nil, nil, err
 	}
 	return spec, seeds, keys, nil
-}
-
-// cellResult is the canonical cached form of one mission's verdict. The
-// fields are exactly the deterministic parts of fleet.MissionResult — name,
-// wall time and cache markers are identity the server re-attaches on reuse.
-type cellResult struct {
-	Metrics  sim.Metrics           `json:"metrics"`
-	Switches []soterruntime.Switch `json:"switches,omitempty"`
 }
 
 // Job is one submitted batch with its live state. All mutable fields are

@@ -50,8 +50,8 @@ func TestPolicyDistinguishesCache(t *testing.T) {
 	if len(a) == 0 || len(b) == 0 {
 		t.Fatal("missing metrics in terminal reports")
 	}
-	if st := svc.Stats(); st.Cache.Hits != 1 || st.Cache.Misses < 2 {
-		t.Errorf("cache stats = %+v, want exactly 1 hit and >= 2 misses", st.Cache)
+	if st := svc.Stats(); st.Store.Memory.Hits != 1 || st.Store.Memory.Misses < 2 {
+		t.Errorf("store memory stats = %+v, want exactly 1 hit and >= 2 misses", st.Store.Memory)
 	}
 
 	// An unknown policy is a 400 at submit, not a failed job.

@@ -10,11 +10,18 @@
 //
 //   - Persistence of work already done. Runs are fully deterministic per
 //     (spec, seed) — the property the paper's repeatable RTA experiments rely
-//     on — so every grid cell's verdict is cached under a canonical
+//     on — so every grid cell's verdict is stored under a canonical
 //     fingerprint of its overridden spec and seed
-//     (scenario.Spec.Fingerprint). A repeated cell is served from memory
-//     through the fleet engine's Reuse hook, byte-identical to a fresh run
-//     and orders of magnitude faster; /stats exposes the hit/miss counters.
+//     (scenario.Spec.Fingerprint) in the tiered result store
+//     (internal/store): an in-memory LRU in front of an optional crash-safe
+//     disk tier (Config.StoreDir — a restarted server answers yesterday's
+//     sweeps without simulating) and an optional peer tier (Config.Peers —
+//     N servers form one logical cache over GET /store/{key}). A repeated
+//     cell is served through the fleet engine's Reuse hook, byte-identical
+//     to a fresh run and orders of magnitude faster, and a singleflight
+//     group collapses concurrent identical fills so every fingerprint
+//     simulates at most once however many jobs want it; /stats exposes the
+//     per-tier hit/miss/eviction and singleflight counters.
 //
 //   - A live view of work in flight. Each job's missions fan their event
 //     streams (run boundaries, mode switches, invariant violations, crashes,
@@ -28,7 +35,6 @@ package service
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	goruntime "runtime"
@@ -38,6 +44,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // ErrBusy marks capacity rejections (job queue full, job table full): the
@@ -60,8 +67,23 @@ type Config struct {
 	// 64); submissions beyond it are rejected rather than buffered without
 	// bound.
 	QueueDepth int
-	// CacheEntries bounds the result cache (default DefaultCacheEntries).
+	// CacheEntries bounds the result store's in-memory tier (default
+	// store.DefaultMemoryEntries).
 	CacheEntries int
+	// StoreDir, when set, adds a crash-safe disk tier to the result store
+	// rooted at the directory: results survive restarts, and a server
+	// reopened on the same directory serves previous sweeps without
+	// simulating.
+	StoreDir string
+	// StoreMaxBytes bounds the disk tier (default store.DefaultDiskMaxBytes);
+	// least-recently-accessed entries are evicted beyond it.
+	StoreMaxBytes int64
+	// Peers lists sibling soter-serve base URLs ("http://host:port"). When
+	// set, missing results are fetched from peers (rendezvous-hashed per
+	// fingerprint) over GET /store/{key} before being simulated locally, so
+	// N processes form one logical cache. A down peer degrades to local
+	// compute, never an error.
+	Peers []string
 	// MaxJobs bounds how many jobs are retained (default 1024). When a
 	// submission would exceed it, the oldest jobs in a terminal state are
 	// evicted (their reports and event rings released); active jobs are
@@ -95,10 +117,11 @@ func (c Config) maxJobs() int {
 	return 1024
 }
 
-// Stats is the /stats payload: cache counters plus job lifecycle counts.
+// Stats is the /stats payload: the result store's per-tier and singleflight
+// counters plus job lifecycle counts.
 type Stats struct {
-	Cache CacheStats `json:"cache"`
-	Jobs  JobCounts  `json:"jobs"`
+	Store store.Stats `json:"store"`
+	Jobs  JobCounts   `json:"jobs"`
 }
 
 // JobCounts tallies jobs by lifecycle state.
@@ -111,10 +134,10 @@ type JobCounts struct {
 	Cancelled int `json:"cancelled"`
 }
 
-// Server owns the job queue, the runner pool and the result cache.
+// Server owns the job queue, the runner pool and the tiered result store.
 type Server struct {
 	cfg   Config
-	cache *Cache
+	store *store.Tiered
 
 	ctx       context.Context
 	stop      context.CancelFunc
@@ -129,12 +152,31 @@ type Server struct {
 	seq    int
 }
 
-// New builds a server and starts its job runners. Close releases them.
-func New(cfg Config) *Server {
+// New builds a server and starts its job runners. Close releases them. It
+// errors when the configured store tiers cannot be opened (unwritable
+// StoreDir, malformed peer URL) — a server that silently dropped its
+// durability would serve correct results while quietly re-simulating
+// everything.
+func New(cfg Config) (*Server, error) {
+	opts := store.Options{Memory: store.NewMemory(cfg.CacheEntries)}
+	if cfg.StoreDir != "" {
+		disk, err := store.NewDisk(cfg.StoreDir, cfg.StoreMaxBytes)
+		if err != nil {
+			return nil, err
+		}
+		opts.Disk = disk
+	}
+	if len(cfg.Peers) > 0 {
+		peers, err := store.NewPeers(store.PeersConfig{Peers: cfg.Peers})
+		if err != nil {
+			return nil, err
+		}
+		opts.Peers = peers
+	}
 	ctx, stop := context.WithCancel(context.Background()) //soter:ctx-ok documented shim: the server owns its lifecycle root; Close cancels it
 	s := &Server{
 		cfg:   cfg,
-		cache: NewCache(cfg.CacheEntries),
+		store: store.NewTiered(opts),
 		ctx:   ctx,
 		stop:  stop,
 		queue: make(chan *Job, cfg.queueDepth()),
@@ -144,7 +186,7 @@ func New(cfg Config) *Server {
 		s.wg.Add(1)
 		go s.runner()
 	}
-	return s
+	return s, nil
 }
 
 // Close cancels every queued and running job and waits for the runners to
@@ -167,14 +209,17 @@ func (s *Server) Close() {
 				job.requestCancel()
 				job.finish(nil, context.Canceled)
 			default:
+				// Closed last: with the runners drained no fill can be in
+				// flight, so closing the store wakes nobody mid-simulation.
+				_ = s.store.Close()
 				return
 			}
 		}
 	})
 }
 
-// Cache exposes the result cache (benchmarks and tests seed or inspect it).
-func (s *Server) Cache() *Cache { return s.cache }
+// Store exposes the tiered result store (tests seed or inspect it).
+func (s *Server) Store() *store.Tiered { return s.store }
 
 // Submit validates the request against the scenario registry and enqueues it.
 // It returns the queued job, or an error when the spec does not resolve, the
@@ -280,7 +325,7 @@ func (s *Server) Cancel(id string) bool {
 	return true
 }
 
-// Stats snapshots the cache counters and job tallies.
+// Stats snapshots the store counters and job tallies.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	jobs := make([]*Job, 0, len(s.jobs))
@@ -288,7 +333,7 @@ func (s *Server) Stats() Stats {
 		jobs = append(jobs, j)
 	}
 	s.mu.Unlock()
-	st := Stats{Cache: s.cache.Stats()}
+	st := Stats{Store: s.store.Stats()}
 	for _, j := range jobs {
 		st.Jobs.Total++
 		switch j.Status() {
@@ -344,8 +389,13 @@ func (s *Server) runJob(job *Job) {
 	}
 }
 
-// runSweepJob executes one batch job over the fleet engine with the cache
-// wired into the per-mission reuse hook.
+// runSweepJob executes one batch job over the fleet engine with the tiered
+// result store wired into the per-mission reuse hook. Every cell goes through
+// the store's singleflight group: a miss elects this mission the fill leader
+// (it simulates and completes the fill in OnResult), while a concurrent
+// identical cell — in this job or any other — blocks on the leader and shares
+// its bytes. Determinism makes the wait safe: whatever the leader produces is
+// exactly what the waiter's own simulation would have produced.
 func (s *Server) runSweepJob(job *Job) {
 	ctx, cancel := context.WithCancel(s.ctx)
 	defer cancel()
@@ -365,30 +415,55 @@ func (s *Server) runSweepJob(job *Job) {
 	if job.spec.Workers > 0 && job.spec.Workers < workers {
 		workers = job.spec.Workers
 	}
+	// fills[i] is written by mission i's Reuse call and consumed by the same
+	// worker goroutine's OnResult call; distinct indices never share an
+	// element, so the slice needs no lock.
+	fills := make([]*store.Fill, len(missions))
 	rep := fleet.Run(ctx, missions, fleet.Options{
 		Workers: workers,
 		Reuse: func(i int, m fleet.Mission) (fleet.MissionResult, bool) {
-			raw, ok := s.cache.Get(job.keys[i])
-			if !ok {
+			val, fill := s.store.Acquire(ctx, job.keys[i])
+			if fill != nil {
+				// Miss, and this mission leads the fill: simulate, then
+				// Complete (or Abort) in OnResult below.
+				fills[i] = fill
 				return fleet.MissionResult{}, false
 			}
-			var cell cellResult
-			if err := json.Unmarshal(raw, &cell); err != nil {
+			if val == nil {
+				// Cancelled while waiting: simulate without caching duties
+				// (the run is about to be cancelled too).
+				return fleet.MissionResult{}, false
+			}
+			p, err := store.DecodePayload(val)
+			if err != nil {
 				// A corrupt entry must not poison the job; fall back to
 				// simulating the cell.
 				return fleet.MissionResult{}, false
 			}
-			return fleet.MissionResult{Metrics: cell.Metrics, Switches: cell.Switches}, true
+			return fleet.MissionResult{Metrics: p.Metrics, Switches: p.Switches}, true
 		},
 		OnResult: func(i int, m fleet.Mission, res fleet.MissionResult) {
-			if res.Err == nil && !res.Cached {
-				if raw, err := json.Marshal(cellResult{Metrics: res.Metrics, Switches: res.Switches}); err == nil {
-					s.cache.Put(job.keys[i], raw)
+			if fill := fills[i]; fill != nil {
+				fills[i] = nil
+				raw, err := store.Payload{Metrics: res.Metrics, Switches: res.Switches}.Encode()
+				if res.Err == nil && !res.Cached && err == nil {
+					fill.Complete(ctx, raw)
+				} else {
+					// Failed or cancelled: waiters wake, re-probe and elect
+					// a new leader rather than inheriting the failure.
+					fill.Abort()
 				}
 			}
 			job.progress(res.Cached)
 		},
 	})
+	// Missions a cancelled batch never started got no OnResult; their leader
+	// slots must not strand waiters in other jobs.
+	for _, fill := range fills {
+		if fill != nil {
+			fill.Abort()
+		}
+	}
 	job.finish(rep, ctx.Err())
 }
 

@@ -18,7 +18,10 @@ import (
 // the test.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	svc := New(cfg)
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(svc.Close)
 	ts := httptest.NewServer(svc.Handler())
 	t.Cleanup(ts.Close)
@@ -133,7 +136,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
 		t.Fatalf("GET stats = %d", code)
 	}
-	if stats.Jobs.Done != 1 || stats.Cache.Misses != 2 || stats.Cache.Entries != 2 {
+	if stats.Jobs.Done != 1 || stats.Store.Memory.Misses != 2 || stats.Store.Memory.Entries != 2 || stats.Store.Fills != 2 {
 		t.Errorf("stats = %+v", stats)
 	}
 }
@@ -156,8 +159,8 @@ func TestRepeatJobServedFromCache(t *testing.T) {
 	if !bytes.Equal(a, b) {
 		t.Errorf("cached metrics diverge from fresh run:\n%s\n%s", a, b)
 	}
-	if st := svc.Stats(); st.Cache.Hits != 1 {
-		t.Errorf("cache hits = %d, want 1", st.Cache.Hits)
+	if st := svc.Stats(); st.Store.Memory.Hits != 1 || st.Store.Fills != 1 {
+		t.Errorf("store: memory hits = %d, fills = %d; want 1, 1", st.Store.Memory.Hits, st.Store.Fills)
 	}
 }
 
@@ -291,7 +294,10 @@ func TestJobRetentionBound(t *testing.T) {
 // TestSubmitAfterClose: a closed server rejects submissions instead of
 // stranding jobs in the queue.
 func TestSubmitAfterClose(t *testing.T) {
-	svc := New(Config{})
+	svc, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	svc.Close()
 	if _, err := svc.Submit(JobSpec{Scenario: "surveillance-city"}); err == nil {
 		t.Fatal("Submit succeeded on a closed server")

@@ -1,0 +1,217 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestConcurrentIdenticalJobsSimulateOnce is the singleflight guarantee at
+// the job level: several identical jobs racing through the runner pool
+// simulate each fingerprint at most once — one fill per unique (spec, seed)
+// cell, everything else collapses onto it or reads it back.
+func TestConcurrentIdenticalJobsSimulateOnce(t *testing.T) {
+	svc, ts := newTestServer(t, Config{JobConcurrency: 4})
+	spec := `{"scenario":"canyon-corridor","overrides":{"duration":"2s"},"seeds":[41,42]}`
+	const jobs, cells = 4, 2
+
+	// Submit all copies before any can finish, so they genuinely race.
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		ids = append(ids, postJob(t, ts, spec).ID)
+	}
+	var done, cached int
+	for _, id := range ids {
+		view := waitTerminal(t, ts, id)
+		if view.Status != StatusDone {
+			t.Fatalf("job %s: %s (%q)", id, view.Status, view.Error)
+		}
+		done += view.Cells.Done
+		cached += view.Cells.Cached
+	}
+	if done != jobs*cells {
+		t.Fatalf("done cells = %d, want %d", done, jobs*cells)
+	}
+
+	st := svc.Stats().Store
+	if st.Fills != cells {
+		t.Errorf("fills = %d, want exactly %d — some fingerprint simulated more than once", st.Fills, cells)
+	}
+	if st.Aborts != 0 {
+		t.Errorf("aborts = %d, want 0", st.Aborts)
+	}
+	// Every cell beyond the two leaders was answered without simulating.
+	if cached != jobs*cells-cells {
+		t.Errorf("cached cells = %d, want %d", cached, jobs*cells-cells)
+	}
+	if st.Collapsed+st.Memory.Hits < int64(jobs*cells-cells) {
+		t.Errorf("collapsed %d + memory hits %d don't cover the %d reused cells",
+			st.Collapsed, st.Memory.Hits, jobs*cells-cells)
+	}
+}
+
+// TestWarmRestartServedFromDisk is the durability property end to end: a
+// fresh process pointed at the same -store-dir answers a repeated job
+// entirely from disk — zero fresh simulations, metrics byte-identical to the
+// pre-restart report.
+func TestWarmRestartServedFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	spec := `{"scenario":"canyon-corridor","overrides":{"duration":"2s"},"seeds":[1,2]}`
+
+	svc1, ts1 := newTestServer(t, Config{StoreDir: dir})
+	first := waitTerminal(t, ts1, postJob(t, ts1, spec).ID)
+	if first.Status != StatusDone || first.Cells.Cached != 0 {
+		t.Fatalf("cold run: %+v (%q)", first.Cells, first.Error)
+	}
+	golden := metricsJSON(t, first)
+	ts1.Close()
+	svc1.Close()
+
+	svc2, ts2 := newTestServer(t, Config{StoreDir: dir})
+	second := waitTerminal(t, ts2, postJob(t, ts2, spec).ID)
+	if second.Status != StatusDone {
+		t.Fatalf("warm run: %s (%q)", second.Status, second.Error)
+	}
+	if second.Cells.Cached != second.Cells.Done || second.Cells.Done != 2 {
+		t.Fatalf("warm run simulated: %+v, want all %d cells cached", second.Cells, 2)
+	}
+	st := svc2.Stats().Store
+	if st.Fills != 0 {
+		t.Errorf("restarted process filled %d cells, want 0", st.Fills)
+	}
+	if st.Disk.Hits < 2 {
+		t.Errorf("disk hits = %d, want >= 2 — the warm answers did not come from disk", st.Disk.Hits)
+	}
+	if warmed := metricsJSON(t, second); !bytes.Equal(golden, warmed) {
+		t.Errorf("post-restart metrics diverge:\n pre  %s\n post %s", golden, warmed)
+	}
+}
+
+// metricsJSON canonicalises a report's per-seed metrics for byte comparison,
+// dropping the timing metadata (wall, cached) that legitimately differs
+// between a fresh and a remembered run.
+func metricsJSON(t *testing.T, view JobView) []byte {
+	t.Helper()
+	if view.Report == nil {
+		t.Fatal("no report")
+	}
+	rows := make([]any, 0, len(view.Report.Results))
+	for _, r := range view.Report.Results {
+		rows = append(rows, map[string]any{"name": r.Name, "seed": r.Seed, "metrics": r.Metrics})
+	}
+	raw, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestCertifyAfterWarmSweepReusesStore: a deterministic certify cell shares
+// fingerprints with sweep cells, so certifying after a warm sweep consumes
+// zero fresh simulations for the overlapping seeds. Certify's seed sequence
+// is Seed + 101·i, so a 3-seed campaign from seed 1 overlaps the sweep
+// {1, 102, 203}.
+func TestCertifyAfterWarmSweepReusesStore(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	sweep := `{"scenario":"canyon-corridor","overrides":{"duration":"2s"},"seeds":[1,102,203]}`
+	done := waitTerminal(t, ts, postJob(t, ts, sweep).ID)
+	if done.Status != StatusDone {
+		t.Fatalf("sweep: %s (%q)", done.Status, done.Error)
+	}
+	warm := svc.Stats().Store
+	if warm.Fills != 3 {
+		t.Fatalf("sweep filled %d cells, want 3", warm.Fills)
+	}
+
+	resp, err := http.Post(ts.URL+"/certify", "application/json", strings.NewReader(
+		`{"scenario":"canyon-corridor","duration":"2s","threshold":0.9,"seed":1,"max_seeds":3,"batch":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /certify = %d", resp.StatusCode)
+	}
+	final := waitTerminal(t, ts, view.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("certify: %s (%q)", final.Status, final.Error)
+	}
+	if final.CertifyResult == nil || final.CertifyResult.Seeds != 3 {
+		t.Fatalf("certify result = %+v, want 3 seeds consumed", final.CertifyResult)
+	}
+
+	st := svc.Stats().Store
+	if st.Fills != warm.Fills {
+		t.Errorf("certify ran %d fresh simulations, want 0 — fingerprints did not overlap the sweep",
+			st.Fills-warm.Fills)
+	}
+	if st.Memory.Hits < warm.Memory.Hits+3 {
+		t.Errorf("memory hits went %d -> %d, want +3 from the certify reads", warm.Memory.Hits, st.Memory.Hits)
+	}
+}
+
+// TestSporadicCertifyBypassesStore: a sporadic-fault certify cell alters the
+// mission, so it must never consume or produce sweep fingerprints.
+func TestSporadicCertifyBypassesStore(t *testing.T) {
+	svc, ts := newTestServer(t, Config{})
+	sweep := `{"scenario":"canyon-corridor","overrides":{"duration":"2s"},"seeds":[1]}`
+	waitTerminal(t, ts, postJob(t, ts, sweep).ID)
+	warm := svc.Stats().Store
+
+	resp, err := http.Post(ts.URL+"/certify", "application/json", strings.NewReader(
+		`{"scenario":"canyon-corridor","duration":"2s","threshold":0.9,"seed":1,"max_seeds":1,"batch":1,"fault_activation":0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	final := waitTerminal(t, ts, view.ID)
+	if final.Status != StatusDone {
+		t.Fatalf("certify: %s (%q)", final.Status, final.Error)
+	}
+	st := svc.Stats().Store
+	if st.Fills != warm.Fills || st.Memory.Hits != warm.Memory.Hits {
+		t.Errorf("sporadic certify touched the store: fills %d -> %d, hits %d -> %d",
+			warm.Fills, st.Fills, warm.Memory.Hits, st.Memory.Hits)
+	}
+}
+
+// TestPeerFetchThrough: a second process with no local state of its own
+// answers a job from its sibling's store over GET /store/{key}.
+func TestPeerFetchThrough(t *testing.T) {
+	spec := `{"scenario":"canyon-corridor","overrides":{"duration":"2s"},"seeds":[5]}`
+
+	_, tsA := newTestServer(t, Config{})
+	a := waitTerminal(t, tsA, postJob(t, tsA, spec).ID)
+	if a.Status != StatusDone {
+		t.Fatalf("job on A: %s (%q)", a.Status, a.Error)
+	}
+
+	svcB, tsB := newTestServer(t, Config{Peers: []string{tsA.URL}})
+	b := waitTerminal(t, tsB, postJob(t, tsB, spec).ID)
+	if b.Status != StatusDone {
+		t.Fatalf("job on B: %s (%q)", b.Status, b.Error)
+	}
+	if b.Cells.Cached != 1 {
+		t.Fatalf("B simulated instead of fetching from its peer: %+v", b.Cells)
+	}
+	st := svcB.Stats().Store
+	if st.Peers.Hits < 1 {
+		t.Errorf("peer hits = %d, want >= 1", st.Peers.Hits)
+	}
+	if st.Fills != 0 {
+		t.Errorf("B filled %d cells, want 0", st.Fills)
+	}
+	if ja, jb := metricsJSON(t, a), metricsJSON(t, b); !bytes.Equal(ja, jb) {
+		t.Errorf("peer-served metrics diverge:\n A %s\n B %s", ja, jb)
+	}
+}

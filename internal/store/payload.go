@@ -1,0 +1,41 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+
+	soterruntime "repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+// Payload is the canonical stored form of one mission's verdict — exactly the
+// deterministic parts of a mission result. Name, wall time and cache markers
+// are identity that the consumer re-attaches on reuse; they never enter the
+// store, so the bytes under a fingerprint are the same no matter which
+// process, job or subsystem computed them. Both sweep jobs and deterministic
+// certification cells encode through this type, which is what lets them share
+// entries.
+type Payload struct {
+	Metrics  sim.Metrics           `json:"metrics"`
+	Switches []soterruntime.Switch `json:"switches,omitempty"`
+}
+
+// Encode renders the payload as canonical JSON bytes for storage.
+func (p Payload) Encode() ([]byte, error) {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode payload: %w", err)
+	}
+	return raw, nil
+}
+
+// DecodePayload parses stored bytes back into a Payload. An error means the
+// entry is unusable and the caller should recompute; with checksummed tiers
+// this indicates an encoding-era bug, not bit rot.
+func DecodePayload(raw []byte) (Payload, error) {
+	var p Payload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return Payload{}, fmt.Errorf("store: decode payload: %w", err)
+	}
+	return p, nil
+}

@@ -73,6 +73,7 @@ import (
 	"repro/internal/rta"
 	"repro/internal/runtime"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // Core vocabulary, re-exported from the internal implementation packages so
@@ -233,13 +234,14 @@ func ReadJSONL(r io.Reader) ([]Event, error) { return obs.ReadJSONL(r) }
 // Simulation-as-a-service vocabulary, re-exported from internal/service: the
 // layer cmd/soter-serve runs, for applications that want to embed the job
 // server (submit batch jobs against the scenario registry, stream obs events,
-// share the deterministic result cache) instead of shelling out to HTTP.
+// share the tiered result store) instead of shelling out to HTTP.
 type (
-	// ServiceConfig sizes a job server.
+	// ServiceConfig sizes a job server (incl. StoreDir/StoreMaxBytes/Peers,
+	// the result store's durable and distributed tiers).
 	ServiceConfig = service.Config
-	// ServiceServer accepts, schedules, caches and reports batch jobs.
+	// ServiceServer accepts, schedules, stores and reports batch jobs.
 	ServiceServer = service.Server
-	// ServiceStats is the /stats payload (cache counters, job tallies).
+	// ServiceStats is the /stats payload (store counters, job tallies).
 	ServiceStats = service.Stats
 	// Job is one submitted batch with its live state.
 	Job = service.Job
@@ -249,11 +251,55 @@ type (
 	JobStatus = service.Status
 	// JobOverrides is the declarative override set of a JobSpec.
 	JobOverrides = service.Overrides
-	// ResultCache is the LRU-bounded deterministic result cache.
-	ResultCache = service.Cache
-	// CacheStats is a snapshot of the result cache's counters.
-	CacheStats = service.CacheStats
 )
+
+// Result-store vocabulary, re-exported from internal/store: the durable,
+// sharded, deduplicated result store behind the serving layer. Every mission
+// is deterministic per (spec, seed), so its verdict is a content-addressed
+// artifact keyed by Spec.Fingerprint(seed); the store composes an in-memory
+// LRU, a crash-safe disk tier and a peer fetch-through tier behind one
+// interface, with a singleflight group collapsing concurrent identical
+// fills.
+type (
+	// ResultStore is the tier contract (Get/Put/Stats/Close by fingerprint).
+	ResultStore = store.Store
+	// TieredStore is the composed memory → disk → peers store the server runs.
+	TieredStore = store.Tiered
+	// StoreOptions configures a TieredStore's tiers.
+	StoreOptions = store.Options
+	// MemoryStore is tier 0: the in-process LRU.
+	MemoryStore = store.Memory
+	// DiskStore is tier 1: fingerprint-sharded crash-safe files.
+	DiskStore = store.Disk
+	// PeerStore is tier 2: rendezvous-hashed fetch-through from siblings.
+	PeerStore = store.Peers
+	// PeerStoreConfig configures a PeerStore.
+	PeerStoreConfig = store.PeersConfig
+	// StoreStats is the whole store's counter snapshot (/stats payload).
+	StoreStats = store.Stats
+	// StoreTierStats is one tier's counter snapshot.
+	StoreTierStats = store.TierStats
+	// StorePayload is the canonical stored form of one mission's verdict.
+	StorePayload = store.Payload
+)
+
+// NewTieredStore composes a result store from the configured tiers;
+// NewMemoryStore, NewDiskStore and NewPeerStore build the individual tiers.
+func NewTieredStore(opts StoreOptions) *TieredStore { return store.NewTiered(opts) }
+
+// NewMemoryStore builds the in-process LRU tier (capacity entries; 0 =
+// default).
+func NewMemoryStore(capacity int) *MemoryStore { return store.NewMemory(capacity) }
+
+// NewDiskStore opens the crash-safe disk tier rooted at dir (maxBytes 0 =
+// default 1 GiB).
+func NewDiskStore(dir string, maxBytes int64) (*DiskStore, error) {
+	return store.NewDisk(dir, maxBytes)
+}
+
+// NewPeerStore builds the peer fetch-through tier over sibling soter-serve
+// base URLs.
+func NewPeerStore(cfg PeerStoreConfig) (*PeerStore, error) { return store.NewPeers(cfg) }
 
 // Job lifecycle states.
 const (
@@ -266,8 +312,9 @@ const (
 
 // NewService builds a job server and starts its runners; Close releases
 // them. Handler() adapts it to HTTP — cmd/soter-serve is exactly that
-// wiring plus graceful shutdown.
-func NewService(cfg ServiceConfig) *ServiceServer { return service.New(cfg) }
+// wiring plus graceful shutdown. It errors when the configured store tiers
+// cannot be opened.
+func NewService(cfg ServiceConfig) (*ServiceServer, error) { return service.New(cfg) }
 
 // Falsification vocabulary, re-exported from internal/falsify: adversarial
 // counterexample search over the scenario × policy × seed space. Campaigns
